@@ -1,0 +1,124 @@
+// Command rpexplore runs batch latency-domain design space exploration over
+// one workload with a selectable engine — RpStacks, graph reconstruction or
+// per-point re-simulation — and reports the best points under a CPI target.
+//
+// Usage:
+//
+//	rpexplore -app 416.gamess -axis L1D=1,2,3,4 -axis FpAdd=2,4,6 \
+//	          [-method rpstacks|graph|sim] [-target 0.55] [-top 10] [-n 60000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/experiments"
+	"repro/internal/stacks"
+)
+
+// axisFlags collects repeated -axis flags.
+type axisFlags []dse.Axis
+
+func (a *axisFlags) String() string { return fmt.Sprint(*a) }
+
+func (a *axisFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want Event=v1,v2,...")
+	}
+	ev, err := stacks.ParseEvent(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	var vals []float64
+	for _, s := range strings.Split(parts[1], ",") {
+		x, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return err
+		}
+		vals = append(vals, x)
+	}
+	*a = append(*a, dse.Axis{Event: ev, Values: vals})
+	return nil
+}
+
+func main() {
+	var axes axisFlags
+	app := flag.String("app", "416.gamess", "workload name")
+	method := flag.String("method", "rpstacks", "engine: rpstacks, graph or sim")
+	target := flag.Float64("target", 0, "CPI target (0: report the best points)")
+	top := flag.Int("top", 10, "points to print")
+	n := flag.Int("n", 60000, "measured µops")
+	flag.Var(&axes, "axis", "latency axis, e.g. L1D=1,2,3,4 (repeatable)")
+	flag.Parse()
+
+	if err := run(*app, axes, *method, *target, *top, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "rpexplore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app string, axes axisFlags, method string, target float64, top, n int) error {
+	if len(axes) == 0 {
+		axes = axisFlags{
+			{Event: stacks.L1D, Values: []float64{1, 2, 3, 4}},
+			{Event: stacks.FpAdd, Values: []float64{2, 4, 6}},
+			{Event: stacks.FpMul, Values: []float64{2, 4, 6}},
+		}
+	}
+	sp := dse.Space{Axes: axes}
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	r := experiments.NewRunner(n)
+	a, err := r.App(app)
+	if err != nil {
+		return err
+	}
+	points := sp.Enumerate(r.Cfg.Lat)
+	fmt.Printf("%s: exploring %d latency points with %s\n", app, len(points), method)
+
+	start := time.Now()
+	var rep *dse.Report
+	switch method {
+	case "rpstacks":
+		rep = dse.ExploreRpStacks(a.Analysis, points)
+	case "graph":
+		rep = dse.ExploreGraph(a.Graph, points)
+	case "sim":
+		rep, err = dse.ExploreSim(r.Cfg, a.UOps, points)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	elapsed := time.Since(start)
+
+	uops := float64(len(a.Trace.Records))
+	results := rep.Results
+	sort.Slice(results, func(i, j int) bool { return results[i].Cycles < results[j].Cycles })
+	meeting := len(results)
+	if target > 0 {
+		meeting = len(dse.BestUnder(results, target*uops))
+		fmt.Printf("%d points meet CPI target %.3f\n", meeting, target)
+	}
+	if top > len(results) {
+		top = len(results)
+	}
+	fmt.Printf("\nbest %d points (of %d, explored in %v):\n", top, len(results), elapsed.Round(time.Millisecond))
+	for _, res := range results[:top] {
+		var mods []string
+		for _, ax := range axes {
+			mods = append(mods, fmt.Sprintf("%s=%.0f", ax.Event, res.Lat[ax.Event]))
+		}
+		fmt.Printf("  CPI %.4f  %s\n", res.Cycles/uops, strings.Join(mods, " "))
+	}
+	return nil
+}

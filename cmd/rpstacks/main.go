@@ -1,0 +1,219 @@
+// Command rpstacks is the front door of the RpStacks reproduction: it runs
+// single-workload analyses, per-configuration predictions and every paper
+// experiment from the command line.
+//
+// Usage:
+//
+//	rpstacks config
+//	rpstacks list
+//	rpstacks analyze  -app 416.gamess [-n 60000] [-seg 5000] [-cos 0.7] [-unique=true]
+//	rpstacks predict  -app 416.gamess -set L1D=2,FpAdd=3 [-validate]
+//	rpstacks experiment fig11b|all [-n 12000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/stacks"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "config":
+		err = cmdConfig()
+	case "list":
+		err = cmdList()
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "rpstacks: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpstacks:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `rpstacks — representative stall-event stack analysis
+
+commands:
+  config                       print the baseline design point (Table II)
+  list                         list workloads and experiments
+  analyze  -app NAME [flags]   analyze one workload, print its RpStacks
+  predict  -app NAME -set ...  predict CPI for a modified latency point
+  experiment ID|all [flags]    regenerate a paper figure or table
+`)
+}
+
+func cmdConfig() error {
+	out, err := config.Baseline().JSON()
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func cmdList() error {
+	fmt.Println("workloads:")
+	for _, n := range workload.Names() {
+		fmt.Println("  " + n)
+	}
+	fmt.Println("\nexperiments:")
+	for _, d := range experiments.Registry() {
+		fmt.Printf("  %-8s %s\n", d.ID, d.Title)
+	}
+	return nil
+}
+
+func runnerFlags(fs *flag.FlagSet) (n *int, run func() *experiments.Runner) {
+	n = fs.Int("n", 60000, "measured µops per workload")
+	seg := fs.Int("seg", 5000, "segment length (µops)")
+	cos := fs.Float64("cos", 0.7, "cosine similarity threshold")
+	uniq := fs.Bool("unique", true, "preserve unique-event paths")
+	seed := fs.Int64("seed", 42, "workload seed")
+	return n, func() *experiments.Runner {
+		r := experiments.NewRunner(*n)
+		r.Seed = *seed
+		r.Opts.SegmentLength = *seg
+		r.Opts.CosineThreshold = *cos
+		r.Opts.PreserveUnique = *uniq
+		return r
+	}
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	app := fs.String("app", "416.gamess", "workload name")
+	top := fs.Int("top", 8, "paths to display")
+	_, mk := runnerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := mk()
+	f, err := r.Fig5(*app)
+	if err != nil {
+		return err
+	}
+	show := *top
+	if show > len(f.PathStacks) {
+		show = len(f.PathStacks)
+	}
+	f.PathStacks = f.PathStacks[:show]
+	fmt.Println(f)
+	return nil
+}
+
+// parseSet parses "L1D=2,FpAdd=3" into a latency assignment on top of base.
+func parseSet(base stacks.Latencies, spec string) (stacks.Latencies, error) {
+	l := base
+	if spec == "" {
+		return l, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return l, fmt.Errorf("bad -set entry %q (want Event=cycles)", kv)
+		}
+		ev, err := stacks.ParseEvent(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return l, err
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return l, fmt.Errorf("bad cycle count in %q: %v", kv, err)
+		}
+		l[ev] = v
+	}
+	return l, l.Validate()
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	app := fs.String("app", "416.gamess", "workload name")
+	set := fs.String("set", "", "latency overrides, e.g. L1D=2,FpAdd=3")
+	validate := fs.Bool("validate", false, "re-simulate to score the prediction")
+	_, mk := runnerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := mk()
+	a, err := r.App(*app)
+	if err != nil {
+		return err
+	}
+	l, err := parseSet(r.Cfg.Lat, *set)
+	if err != nil {
+		return err
+	}
+	n := float64(len(a.Trace.Records))
+	fmt.Printf("baseline CPI:  %.4f (simulated)\n", a.Trace.CPI())
+	fmt.Printf("RpStacks CPI:  %.4f (predicted for %s)\n", a.Analysis.Predict(&l)/n, *set)
+	fmt.Printf("CP1 CPI:       %.4f\n", a.CP1.Predict(&l)/n)
+	fmt.Printf("FMT CPI:       %.4f\n", a.FMT.Predict(&l)/n)
+	if *validate {
+		truth, err := r.Truth(a, &l)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("simulated CPI: %.4f (ground truth)\n", truth/n)
+	}
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("experiment: need an id (or 'all'); try 'rpstacks list'")
+	}
+	id := args[0]
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	_, mk := runnerFlags(fs)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	r := mk()
+	var ids []string
+	if id == "all" {
+		for _, d := range experiments.Registry() {
+			ids = append(ids, d.ID)
+		}
+		sort.Strings(ids)
+	} else {
+		ids = []string{id}
+	}
+	for _, id := range ids {
+		d, err := experiments.Find(id)
+		if err != nil {
+			return err
+		}
+		out, err := d.Run(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(out)
+		fmt.Println(strings.Repeat("-", 72))
+	}
+	return nil
+}

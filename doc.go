@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "RpStacks: Fast and
+// Accurate Processor Design Space Exploration Using Representative
+// Stall-Event Stacks" (Lee, Jang & Kim, MICRO 2014).
+//
+// The repository builds the complete stack the paper's methodology needs: a
+// cycle-level out-of-order x86-style timing simulator (internal/cpu) over a
+// cache/TLB/branch-predictor substrate (internal/mem, internal/branch),
+// deterministic SPEC-CPU-2006-like synthetic workloads (internal/workload),
+// the Table I dependence-graph model (internal/depgraph), the RpStacks
+// algorithm itself (internal/core), the CP1 and FMT comparison baselines
+// (internal/baseline), SimPoint-style sampling (internal/simpoint), a design
+// space exploration driver (internal/dse), and an experiment harness that
+// regenerates every figure and table of the paper's evaluation
+// (internal/experiments).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
+// bench_test.go regenerate each figure: go test -bench=Fig -benchmem .
+package repro

@@ -1,0 +1,103 @@
+// SimPoint-style sampling (the paper's sampling optimization, Section
+// III-C): cut a phase-structured workload into intervals, cluster their
+// basic-block vectors, analyze only the representative intervals, and
+// combine the per-representative RpStacks with cluster weights. The
+// weighted prediction tracks the full-trace result at a fraction of the
+// analysis cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/simpoint"
+	"repro/internal/stacks"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 401.bzip2's profile alternates compression phases, so its intervals
+	// cluster meaningfully.
+	prof, _ := workload.ByName("401.bzip2")
+	gen := workload.NewGenerator(prof, 7)
+	uops := gen.Take(120000)
+	cfg := config.Baseline()
+
+	// Full-trace reference.
+	sim, err := cpu.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.WarmCode(gen.CodeLines())
+	sim.WarmData(gen.DataLines())
+	tr, err := sim.Run(uops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := core.Analyze(tr, &cfg.Structure, &cfg.Lat, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// SimPoint pipeline: BBVs -> k-means -> weighted representatives.
+	const intervalLen = 10000
+	ivs, err := simpoint.CollectBBVs(uops, gen.BlockOf, gen.NumBlocks(), intervalLen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	picks, err := simpoint.Choose(ivs, 4, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d intervals clustered into %d representatives:\n", len(ivs), len(picks))
+
+	// Analyze each representative interval on the already-simulated trace
+	// and combine predictions with the cluster weights.
+	type repA struct {
+		a *core.Analysis
+		w float64
+		n int
+	}
+	var reps []repA
+	for _, p := range picks {
+		iv := ivs[p.Interval]
+		lo := iv.Lo
+		for lo < len(tr.Records) && !tr.Records[lo].SoM {
+			lo++
+		}
+		a, err := core.AnalyzeRange(tr, &cfg.Structure, &cfg.Lat, core.DefaultOptions(), lo, iv.Hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  interval %3d  weight %.2f\n", p.Interval, p.Weight)
+		reps = append(reps, repA{a: a, w: p.Weight, n: iv.Hi - lo})
+	}
+
+	predict := func(l *stacks.Latencies) float64 {
+		var cpi float64
+		for _, r := range reps {
+			cpi += r.w * r.a.Predict(l) / float64(r.n)
+		}
+		return cpi
+	}
+
+	fmt.Printf("\n%-22s %-10s %-10s\n", "configuration", "full", "simpoint")
+	for _, sc := range []struct {
+		name string
+		lat  stacks.Latencies
+	}{
+		{"baseline", cfg.Lat},
+		{"L1D=2", cfg.Lat.With(stacks.L1D, 2)},
+		{"MemD=66", cfg.Lat.With(stacks.MemD, 66)},
+		{"L2D=6, MemD=66", cfg.Lat.With(stacks.L2D, 6).With(stacks.MemD, 66)},
+	} {
+		lat := sc.lat
+		fmt.Printf("%-22s %-10.3f %-10.3f\n", sc.name, full.PredictCPI(&lat), predict(&lat))
+	}
+	fmt.Printf("\nanalysis cost: %d µops instead of %d (%.0f%% of the work)\n",
+		len(picks)*intervalLen, len(uops),
+		100*float64(len(picks)*intervalLen)/float64(len(uops)))
+}

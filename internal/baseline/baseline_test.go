@@ -1,0 +1,155 @@
+package baseline_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/depgraph"
+	"repro/internal/experiments"
+	"repro/internal/stacks"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func simTrace(t *testing.T, cfg *config.Config, n int, app string) *trace.Trace {
+	t.Helper()
+	prof, ok := workload.ByName(app)
+	if !ok {
+		t.Fatalf("unknown workload %s", app)
+	}
+	s, err := cpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(workload.Stream(prof, 6, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestCP1MatchesGraphAtBaseline: the CP1 stack is exactly the baseline
+// critical path, so its baseline prediction equals the graph longest path.
+func TestCP1MatchesGraphAtBaseline(t *testing.T) {
+	cfg := config.Baseline()
+	tr := simTrace(t, cfg, 5000, "450.soplex")
+	cp, err := baseline.NewCP1(tr, &cfg.Structure, &cfg.Lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := depgraph.Build(tr, &cfg.Structure, 0, len(tr.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(g.LongestPath(&cfg.Lat))
+	if got := cp.Predict(&cfg.Lat); math.Abs(got-want) > 0.5 {
+		t.Fatalf("CP1 baseline prediction %.1f != graph %f", got, want)
+	}
+	if cp.PredictCPI(&cfg.Lat) <= 0 {
+		t.Fatal("CPI must be positive")
+	}
+}
+
+// TestFMTDecomposesTotal: the FMT stack is a decomposition of the measured
+// cycles, and its baseline prediction reproduces them.
+func TestFMTDecomposesTotal(t *testing.T) {
+	cfg := config.Baseline()
+	for _, app := range []string{"429.mcf", "416.gamess", "458.sjeng"} {
+		tr := simTrace(t, cfg, 5000, app)
+		f := baseline.NewFMT(tr, &cfg.Lat)
+		if got := f.Predict(&cfg.Lat); math.Abs(got-float64(tr.Cycles)) > 1 {
+			t.Errorf("%s: FMT baseline prediction %.1f != measured %d", app, got, tr.Cycles)
+		}
+		st := f.Stack()
+		if got := st.Total(&cfg.Lat); math.Abs(got-float64(tr.Cycles)) > 1 {
+			t.Errorf("%s: FMT stack total %.1f != measured %d", app, got, tr.Cycles)
+		}
+		if f.Base < 0 {
+			t.Errorf("%s: negative base component", app)
+		}
+	}
+}
+
+// TestFMTBlindToFineGrainEvents: FU latencies are invisible to
+// pipeline-stall accounting, so changing them does not move the FMT
+// prediction (the paper's Figure 6b failure mode).
+func TestFMTBlindToFineGrainEvents(t *testing.T) {
+	cfg := config.Baseline()
+	tr := simTrace(t, cfg, 5000, "437.leslie3d")
+	f := baseline.NewFMT(tr, &cfg.Lat)
+	base := f.Predict(&cfg.Lat)
+	for _, e := range []stacks.Event{stacks.FpMul, stacks.FpAdd, stacks.L1D, stacks.IntAlu} {
+		l := cfg.Lat.With(e, 1)
+		if got := f.Predict(&l); got != base {
+			t.Errorf("FMT moved by %.1f cycles on a %s change it cannot see", got-base, e)
+		}
+	}
+	// But it does react to the events it charges.
+	l := cfg.Lat.Scale(stacks.MemD, 0.5)
+	if got := f.Predict(&l); got >= base {
+		t.Error("FMT must react to long-miss latency changes")
+	}
+}
+
+// TestOverlapMislabel reproduces Figure 3 at unit level: under the crafted
+// overlap workload, FMT charges the whole loss to the miss events and none
+// to the concurrent FP chain.
+func TestOverlapMislabel(t *testing.T) {
+	cfg := config.Baseline()
+	s, err := cpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(experiments.CraftedOverlap(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := baseline.NewFMT(tr, &cfg.Lat)
+	if f.Comp[stacks.FpDiv] != 0 {
+		t.Fatalf("FMT charged %.0f cycles to FpDiv; stall accounting cannot see overlapped FU work", f.Comp[stacks.FpDiv])
+	}
+	if f.Comp[stacks.MemD] == 0 {
+		t.Fatal("FMT must charge the memory misses")
+	}
+}
+
+// TestCriticalPathSwitch reproduces Figure 4 at unit level: halving the
+// memory latency flips the crafted workload onto its FP chain, and CP1's
+// ex-critical-path prediction undershoots the truth.
+func TestCriticalPathSwitch(t *testing.T) {
+	cfg := config.Baseline()
+	uops := experiments.CraftedOverlap(200)
+	s, err := cpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(uops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := baseline.NewCP1(tr, &cfg.Structure, &cfg.Lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := cfg.Clone()
+	opt.Lat = cfg.Lat.Scale(stacks.MemD, 0.5)
+	s2, err := cpu.New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := s2.Run(uops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(tr2.Cycles)
+	pred := cp.Predict(&opt.Lat)
+	if pred >= truth {
+		t.Fatalf("CP1 should undershoot after the switch: pred %.0f vs truth %.0f", pred, truth)
+	}
+	if (truth-pred)/truth < 0.1 {
+		t.Fatalf("CP1 error %.1f%% too small to demonstrate the switch", 100*(truth-pred)/truth)
+	}
+}

@@ -1,0 +1,49 @@
+// Package baseline implements the two simulation-result analysis methods the
+// paper compares RpStacks against: single-critical-path analysis (CP1) and
+// the Frontend Miss Table pipeline-stall analysis (FMT, Eyerman et al.).
+// Both predict performance from one baseline simulation, and both carry the
+// characteristic blind spots the paper demonstrates — CP1 cannot see
+// near-critical secondary paths, FMT cannot see overlapped or fine-grained
+// stall events.
+package baseline
+
+import (
+	"repro/internal/config"
+	"repro/internal/depgraph"
+	"repro/internal/stacks"
+	"repro/internal/trace"
+)
+
+// CP1 is the single-critical-path predictor: the longest path of the
+// baseline dependence graph, translated into a stall-event stack, re-weighted
+// for any candidate latency assignment. When a latency change makes a
+// formerly secondary path critical, CP1 keeps following the ex-critical path
+// and mispredicts (paper Figure 4b).
+type CP1 struct {
+	// Stack is the event decomposition of the baseline critical path.
+	Stack stacks.Stack
+	// MicroOps is the analyzed µop count, for CPI conversions.
+	MicroOps int
+}
+
+// NewCP1 extracts the baseline critical path of the whole trace.
+func NewCP1(tr *trace.Trace, st *config.Structure, baseline *stacks.Latencies) (*CP1, error) {
+	g, err := depgraph.Build(tr, st, 0, len(tr.Records))
+	if err != nil {
+		return nil, err
+	}
+	_, stack := g.CriticalPath(baseline)
+	return &CP1{Stack: stack, MicroOps: len(tr.Records)}, nil
+}
+
+// Predict returns the predicted cycle count under a latency assignment: the
+// ex-critical path's stack re-weighted.
+func (c *CP1) Predict(l *stacks.Latencies) float64 { return c.Stack.Total(l) }
+
+// PredictCPI returns predicted cycles per µop.
+func (c *CP1) PredictCPI(l *stacks.Latencies) float64 {
+	if c.MicroOps == 0 {
+		return 0
+	}
+	return c.Predict(l) / float64(c.MicroOps)
+}

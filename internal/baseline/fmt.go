@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stacks"
+	"repro/internal/trace"
+)
+
+// FMT is the Frontend-Miss-Table pipeline-stall analysis (Eyerman et al.,
+// the paper's [8]), reimplemented as trace post-processing: lost cycles are
+// charged to the miss event observed when the loss occurred.
+//
+// It shares the original's accounting rules and therefore its blind spots:
+//
+//   - overlapping long data misses are charged only once, to the first miss
+//     of the cluster (Figure 3b's mislabeling);
+//   - fine-grained stalls — L1D hit latency, functional-unit latencies, data
+//     dependencies — are invisible and melt into the Base component, so a
+//     design change to those latencies leaves the prediction unchanged
+//     (Figure 6b's failure mode).
+type FMT struct {
+	// Base is the residual cycle count not explained by any charged event.
+	Base float64
+	// Comp holds measured penalty cycles per event kind.
+	Comp [stacks.NumEvents]float64
+	// BaseLat anchors proportional re-scaling of components.
+	BaseLat stacks.Latencies
+	// MicroOps is the analyzed µop count; Cycles the measured total.
+	MicroOps int
+	Cycles   float64
+}
+
+// NewFMT runs the accounting over a dynamic trace.
+func NewFMT(tr *trace.Trace, baseline *stacks.Latencies) *FMT {
+	f := &FMT{BaseLat: *baseline, MicroOps: len(tr.Records), Cycles: float64(tr.Cycles)}
+	recs := tr.Records
+
+	// Front-end misses: each instruction-side miss and ITLB miss charges
+	// its full access latency — the FMT charges the drained-pipeline gap,
+	// which equals the miss latency in steady state.
+	for i := range recs {
+		r := &recs[i]
+		if r.NewFetchLine {
+			if r.ITLBMiss {
+				f.Comp[stacks.ITLB] += baseline[stacks.ITLB]
+			}
+			switch r.FetchLevel {
+			case mem.LvlL2:
+				f.Comp[stacks.L2I] += baseline[stacks.L2I]
+			case mem.LvlMem:
+				f.Comp[stacks.MemI] += baseline[stacks.MemI]
+			}
+		}
+		// Branch misprediction: redirect-to-dispatch gap of the next µop.
+		if r.Mispredicted && i+1 < len(recs) {
+			pen := float64(recs[i+1].T[trace.SDispatch] - r.T[trace.SComplete])
+			if pen > 0 {
+				f.Comp[stacks.Branch] += pen
+			}
+		}
+	}
+
+	// Long data misses: charge the full serving latency of the first miss
+	// of each overlapping cluster; misses issued while an earlier charged
+	// miss is outstanding are hidden behind it and charge nothing. DTLB
+	// misses charge their penalty alongside.
+	var coveredUntil int64 = -1
+	for i := range recs {
+		r := &recs[i]
+		if r.Class != isa.Load || (r.DataLevel != mem.LvlL2 && r.DataLevel != mem.LvlMem) {
+			continue
+		}
+		if r.T[trace.SIssue] < coveredUntil {
+			continue // hidden under the previous charged miss
+		}
+		switch r.DataLevel {
+		case mem.LvlL2:
+			f.Comp[stacks.L2D] += baseline[stacks.L2D]
+		case mem.LvlMem:
+			f.Comp[stacks.MemD] += baseline[stacks.MemD]
+		}
+		if r.DTLBMiss {
+			f.Comp[stacks.DTLB] += baseline[stacks.DTLB]
+		}
+		coveredUntil = r.T[trace.SComplete]
+	}
+
+	var charged float64
+	for _, c := range f.Comp {
+		charged += c
+	}
+	f.Base = f.Cycles - charged
+	if f.Base < 0 {
+		// Accounting over-charged (heavy overlap); clamp so the stack stays
+		// a decomposition of the measured total.
+		scale := f.Cycles / charged
+		for e := range f.Comp {
+			f.Comp[e] *= scale
+		}
+		f.Base = 0
+	}
+	return f
+}
+
+// Predict returns the predicted cycle count under a latency assignment: each
+// charged component scales proportionally with its event's latency; the Base
+// component — which hides every fine-grained stall — does not move.
+func (f *FMT) Predict(l *stacks.Latencies) float64 {
+	total := f.Base
+	for e := range f.Comp {
+		if f.Comp[e] == 0 {
+			continue
+		}
+		ratio := 1.0
+		if f.BaseLat[e] != 0 {
+			ratio = l[e] / f.BaseLat[e]
+		}
+		total += f.Comp[e] * ratio
+	}
+	return total
+}
+
+// PredictCPI returns predicted cycles per µop.
+func (f *FMT) PredictCPI(l *stacks.Latencies) float64 {
+	if f.MicroOps == 0 {
+		return 0
+	}
+	return f.Predict(l) / float64(f.MicroOps)
+}
+
+// Stack renders the FMT decomposition as a stall-event stack at the baseline
+// (counts normalized so Total(baseline) reproduces the measured cycles).
+func (f *FMT) Stack() stacks.Stack {
+	var s stacks.Stack
+	s.Counts[stacks.Base] = f.Base
+	for e := range f.Comp {
+		if f.Comp[e] != 0 && f.BaseLat[e] != 0 {
+			s.Counts[e] = f.Comp[e] / f.BaseLat[e]
+		}
+	}
+	return s
+}

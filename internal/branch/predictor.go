@@ -1,0 +1,213 @@
+// Package branch implements the branch-direction predictors and the branch
+// target buffer of the target machine. The predictor is a structure-domain
+// choice (paper Section IV-D): changing it requires regenerating the
+// dependence graph and its RpStacks, while the misprediction *penalty* stays
+// a latency-domain knob.
+package branch
+
+import "fmt"
+
+// Predictor predicts conditional branch directions and learns from
+// resolutions. Implementations are deterministic.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc uint64, taken bool)
+	// Name identifies the predictor design.
+	Name() string
+}
+
+// New builds the named predictor with a table of 2^bits entries. Supported
+// names: "bimodal", "gshare", "tournament" and "taken".
+func New(name string, bits int) (Predictor, error) {
+	if bits <= 0 || bits > 24 {
+		return nil, fmt.Errorf("branch: table size 2^%d out of range", bits)
+	}
+	switch name {
+	case "bimodal":
+		return newBimodal(bits), nil
+	case "gshare":
+		return newGshare(bits), nil
+	case "tournament":
+		return newTournament(bits), nil
+	case "taken":
+		return alwaysTaken{}, nil
+	default:
+		return nil, fmt.Errorf("branch: unknown predictor %q", name)
+	}
+}
+
+// counter is a 2-bit saturating counter; values 2 and 3 predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) train(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+type alwaysTaken struct{}
+
+func (alwaysTaken) Predict(uint64) bool { return true }
+func (alwaysTaken) Update(uint64, bool) {}
+func (alwaysTaken) Name() string        { return "taken" }
+
+// bimodal is a PC-indexed table of 2-bit counters.
+type bimodal struct {
+	mask  uint64
+	table []counter
+}
+
+func newBimodal(bits int) *bimodal {
+	n := 1 << bits
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &bimodal{mask: uint64(n - 1), table: t}
+}
+
+func (b *bimodal) idx(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+func (b *bimodal) Predict(pc uint64) bool { return b.table[b.idx(pc)].taken() }
+
+func (b *bimodal) Update(pc uint64, taken bool) {
+	i := b.idx(pc)
+	b.table[i] = b.table[i].train(taken)
+}
+
+func (b *bimodal) Name() string { return "bimodal" }
+
+// gshare XORs a global history register into the table index, capturing
+// correlated branch behaviour.
+type gshare struct {
+	mask    uint64
+	history uint64
+	table   []counter
+}
+
+func newGshare(bits int) *gshare {
+	n := 1 << bits
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &gshare{mask: uint64(n - 1), table: t}
+}
+
+func (g *gshare) idx(pc uint64) uint64 { return ((pc >> 2) ^ g.history) & g.mask }
+
+func (g *gshare) Predict(pc uint64) bool { return g.table[g.idx(pc)].taken() }
+
+func (g *gshare) Update(pc uint64, taken bool) {
+	i := g.idx(pc)
+	g.table[i] = g.table[i].train(taken)
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+	g.history &= g.mask
+}
+
+func (g *gshare) Name() string { return "gshare" }
+
+// tournament selects per-branch between a bimodal and a gshare component
+// with a table of choice counters (taken = use gshare).
+type tournament struct {
+	mask   uint64
+	choice []counter
+	bi     *bimodal
+	gs     *gshare
+}
+
+func newTournament(bits int) *tournament {
+	n := 1 << bits
+	ch := make([]counter, n)
+	for i := range ch {
+		ch[i] = 2
+	}
+	return &tournament{mask: uint64(n - 1), choice: ch, bi: newBimodal(bits), gs: newGshare(bits)}
+}
+
+func (t *tournament) Predict(pc uint64) bool {
+	if t.choice[(pc>>2)&t.mask].taken() {
+		return t.gs.Predict(pc)
+	}
+	return t.bi.Predict(pc)
+}
+
+func (t *tournament) Update(pc uint64, taken bool) {
+	bp := t.bi.Predict(pc)
+	gp := t.gs.Predict(pc)
+	i := (pc >> 2) & t.mask
+	// Train the chooser toward the component that was right when they
+	// disagree.
+	if bp != gp {
+		t.choice[i] = t.choice[i].train(gp == taken)
+	}
+	t.bi.Update(pc, taken)
+	t.gs.Update(pc, taken)
+}
+
+func (t *tournament) Name() string { return "tournament" }
+
+// BTB is a direct-mapped branch target buffer. A taken branch whose target
+// is absent or stale redirects the front end just like a mispredicted
+// direction.
+type BTB struct {
+	mask    uint64
+	tags    []uint64
+	targets []uint64
+	valid   []bool
+
+	Hits, Misses uint64
+}
+
+// NewBTB builds a BTB with the given number of entries (rounded up to a
+// power of two).
+func NewBTB(entries int) *BTB {
+	if entries <= 0 {
+		panic(fmt.Sprintf("branch: invalid BTB size %d", entries))
+	}
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	return &BTB{
+		mask:    uint64(n - 1),
+		tags:    make([]uint64, n),
+		targets: make([]uint64, n),
+		valid:   make([]bool, n),
+	}
+}
+
+func (b *BTB) idx(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Lookup returns the stored target for pc, if any.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	i := b.idx(pc)
+	if b.valid[i] && b.tags[i] == pc {
+		b.Hits++
+		return b.targets[i], true
+	}
+	b.Misses++
+	return 0, false
+}
+
+// Update stores the resolved target for pc.
+func (b *BTB) Update(pc, target uint64) {
+	i := b.idx(pc)
+	b.tags[i] = pc
+	b.targets[i] = target
+	b.valid[i] = true
+}

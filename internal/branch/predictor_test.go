@@ -1,0 +1,129 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func rate(p Predictor, seq []bool, pc uint64) float64 {
+	correct := 0
+	for _, taken := range seq {
+		if p.Predict(pc) == taken {
+			correct++
+		}
+		p.Update(pc, taken)
+	}
+	return float64(correct) / float64(len(seq))
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	p, err := New("bimodal", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := make([]bool, 1000)
+	for i := range seq {
+		seq[i] = i%10 != 0 // 90% taken
+	}
+	if r := rate(p, seq, 0x400); r < 0.85 {
+		t.Fatalf("bimodal accuracy %.2f on a 90%%-biased branch", r)
+	}
+}
+
+func TestGshareLearnsPattern(t *testing.T) {
+	// A strict alternation defeats a 2-bit bimodal (~50%) but is perfectly
+	// correlated with global history.
+	seq := make([]bool, 2000)
+	for i := range seq {
+		seq[i] = i%2 == 0
+	}
+	bi, _ := New("bimodal", 10)
+	gs, _ := New("gshare", 10)
+	rb := rate(bi, seq, 0x400)
+	rg := rate(gs, seq[1000:], 0x400) // score after warmup
+	if rg < 0.95 {
+		t.Fatalf("gshare accuracy %.2f on an alternating branch", rg)
+	}
+	if rg <= rb {
+		t.Fatalf("gshare (%.2f) must beat bimodal (%.2f) on patterns", rg, rb)
+	}
+}
+
+func TestTournamentTracksBestComponent(t *testing.T) {
+	seq := make([]bool, 3000)
+	for i := range seq {
+		seq[i] = i%2 == 0
+	}
+	tp, _ := New("tournament", 10)
+	if r := rate(tp, seq[1500:], 0x400); r < 0.9 {
+		t.Fatalf("tournament accuracy %.2f on a pattern branch", r)
+	}
+}
+
+func TestAlwaysTaken(t *testing.T) {
+	p, _ := New("taken", 4)
+	if !p.Predict(0) || p.Name() != "taken" {
+		t.Fatal("taken predictor misbehaves")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New("oracle", 10); err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+	if _, err := New("gshare", 0); err == nil {
+		t.Fatal("zero-bit table accepted")
+	}
+	if _, err := New("gshare", 30); err == nil {
+		t.Fatal("oversized table accepted")
+	}
+}
+
+func TestPredictorsAreDeterministic(t *testing.T) {
+	mk := func() Predictor { p, _ := New("tournament", 8); return p }
+	a, b := mk(), mk()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		pc := uint64(rng.Intn(64)) * 16
+		taken := rng.Intn(3) > 0
+		if a.Predict(pc) != b.Predict(pc) {
+			t.Fatalf("divergence at step %d", i)
+		}
+		a.Update(pc, taken)
+		b.Update(pc, taken)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(16)
+	if _, ok := b.Lookup(0x400); ok {
+		t.Fatal("cold BTB must miss")
+	}
+	b.Update(0x400, 0x500)
+	if tgt, ok := b.Lookup(0x400); !ok || tgt != 0x500 {
+		t.Fatalf("lookup = %#x,%v", tgt, ok)
+	}
+	// A conflicting pc overwrites the direct-mapped entry.
+	conflict := uint64(0x400 + 16*4)
+	b.Update(conflict, 0x900)
+	if _, ok := b.Lookup(0x400); ok {
+		t.Fatal("overwritten entry must miss")
+	}
+	if b.Hits == 0 || b.Misses == 0 {
+		t.Fatal("counters must move")
+	}
+}
+
+func TestBTBRoundsUpAndPanics(t *testing.T) {
+	b := NewBTB(3) // rounds to 4
+	b.Update(4, 8)
+	if tgt, ok := b.Lookup(4); !ok || tgt != 8 {
+		t.Fatal("rounded BTB must work")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid size must panic")
+		}
+	}()
+	NewBTB(0)
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// TestParallelAnalysisDeterministic: analyzing with a worker pool yields
+// exactly the sequential result, segment for segment and stack for stack.
+func TestParallelAnalysisDeterministic(t *testing.T) {
+	cfg := config.Baseline()
+	prof, _ := workload.ByName("450.soplex")
+	tr := simTrace(t, cfg, workload.Stream(prof, 13, 12000))
+
+	seq := DefaultOptions()
+	seq.SegmentLength = 1500
+	par := seq
+	par.Parallelism = 4
+
+	a, err := Analyze(tr, &cfg.Structure, &cfg.Lat, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(tr, &cfg.Structure, &cfg.Lat, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Segments) != len(b.Segments) {
+		t.Fatalf("segment counts differ: %d vs %d", len(a.Segments), len(b.Segments))
+	}
+	for i := range a.Segments {
+		sa, sb := a.Segments[i], b.Segments[i]
+		if sa.Lo != sb.Lo || sa.Hi != sb.Hi || len(sa.Stacks) != len(sb.Stacks) {
+			t.Fatalf("segment %d differs structurally", i)
+		}
+		for j := range sa.Stacks {
+			if sa.Stacks[j] != sb.Stacks[j] {
+				t.Fatalf("segment %d stack %d differs", i, j)
+			}
+		}
+	}
+	if a.Predict(&cfg.Lat) != b.Predict(&cfg.Lat) {
+		t.Fatal("predictions differ")
+	}
+}

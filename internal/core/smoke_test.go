@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/depgraph"
+	"repro/internal/stacks"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// randomLatencies perturbs the baseline latency assignment.
+func randomLatencies(rng *rand.Rand, base stacks.Latencies) stacks.Latencies {
+	l := base
+	for e := stacks.Event(1); e < stacks.NumEvents; e++ {
+		f := 0.25 + rng.Float64()*1.5
+		l = l.Scale(e, f)
+	}
+	return l
+}
+
+// TestLosslessReductionMatchesGraph verifies the central exactness property:
+// with similarity merging disabled, dominance elimination alone preserves
+// every potentially-critical path, so the RpStacks prediction equals the
+// full graph-reconstruction longest path for ANY latency assignment.
+func TestLosslessReductionMatchesGraph(t *testing.T) {
+	cfg := config.Baseline()
+	prof, _ := workload.ByName("456.hmmer")
+	// Path counts grow exponentially without merging — the very problem
+	// RpStacks' reduction exists to solve — so the exactness check uses a
+	// small window.
+	uops := workload.Stream(prof, 3, 60)
+	s, err := cpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(uops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.DisableMerge = true
+	opts.MaxStacks = 0
+	opts.SegmentLength = len(tr.Records)
+	a, err := Analyze(tr, &cfg.Structure, &cfg.Lat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := depgraph.Build(tr, &cfg.Structure, 0, len(tr.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		l := randomLatencies(rng, cfg.Lat)
+		want := g.LongestPath(&l)
+		got := a.Predict(&l)
+		if int64(got+0.5) != want {
+			t.Fatalf("trial %d: lossless prediction %.1f != graph longest path %d", trial, got, want)
+		}
+	}
+	t.Logf("representative stacks kept: %d", a.NumStacks())
+}
+
+// TestDefaultReductionCloseToGraph checks that the paper's default
+// parameters stay close to the exact graph reconstruction across random
+// latency points while keeping far fewer stacks.
+func TestDefaultReductionCloseToGraph(t *testing.T) {
+	cfg := config.Baseline()
+	for _, name := range []string{"416.gamess", "437.leslie3d", "429.mcf"} {
+		prof, _ := workload.ByName(name)
+		uops := workload.Stream(prof, 5, 6000)
+		s, err := cpu.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := s.Run(uops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Analyze(tr, &cfg.Structure, &cfg.Lat, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := depgraph.Build(tr, &cfg.Structure, 0, len(tr.Records))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		var worst float64
+		for trial := 0; trial < 15; trial++ {
+			l := randomLatencies(rng, cfg.Lat)
+			want := float64(g.LongestPath(&l))
+			got := a.Predict(&l)
+			if e := stats.AbsPctErr(got, want); e > worst {
+				worst = e
+			}
+		}
+		t.Logf("%s: stacks=%d worst-err=%.2f%%", name, a.NumStacks(), worst)
+		if worst > 20 {
+			t.Fatalf("%s: prediction drifts %.2f%% from graph reconstruction", name, worst)
+		}
+	}
+}

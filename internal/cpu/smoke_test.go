@@ -1,0 +1,35 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// TestSmokeAllProfiles runs every workload profile briefly through the
+// simulator and checks trace well-formedness and a sane CPI range.
+func TestSmokeAllProfiles(t *testing.T) {
+	for _, p := range workload.Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			uops := workload.Stream(p, 42, 20000)
+			s, err := New(config.Baseline())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := s.Run(uops)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			cpi := tr.CPI()
+			if cpi < 0.25 || cpi > 200 {
+				t.Fatalf("implausible CPI %.3f", cpi)
+			}
+			t.Logf("CPI=%.3f mispredicts=%d", cpi, tr.Mispredicts)
+		})
+	}
+}

@@ -1,0 +1,331 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// craft builds single-µop macros from (class, dest, src1, src2, addr)
+// tuples, numbering them sequentially.
+type craft struct {
+	uops []isa.MicroOp
+}
+
+func (c *craft) add(u isa.MicroOp) *craft {
+	u.Seq = uint64(len(c.uops))
+	u.MacroSeq = u.Seq
+	u.SoM, u.EoM = true, true
+	if u.PC == 0 {
+		// A single hot line: one cold instruction fetch at the start, then
+		// the front end streams at full width, keeping timing assertions
+		// about the back end clean.
+		u.PC = 0x400000
+	}
+	c.uops = append(c.uops, u)
+	return c
+}
+
+func run(t *testing.T, cfg *config.Config, uops []isa.MicroOp) *trace.Trace {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(uops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSerialChainThroughput checks that a fully serial 1-cycle ALU chain
+// retires one µop per cycle once the pipeline fills.
+func TestSerialChainThroughput(t *testing.T) {
+	c := &craft{}
+	const n = 300
+	for i := 0; i < n; i++ {
+		c.add(isa.MicroOp{Class: isa.IntAlu, Dest: 3, Src1: 3, Src2: isa.RegNone})
+	}
+	tr := run(t, config.Baseline(), c.uops)
+	// One cold instruction line plus pipeline fill on top of n cycles.
+	if tr.Cycles < n || tr.Cycles > n+220 {
+		t.Fatalf("serial chain of %d took %d cycles", n, tr.Cycles)
+	}
+}
+
+// TestIndependentALUWidth checks that independent µops sustain the 4-wide
+// pipeline.
+func TestIndependentALUWidth(t *testing.T) {
+	c := &craft{}
+	const n = 400
+	for i := 0; i < n; i++ {
+		c.add(isa.MicroOp{Class: isa.IntAlu, Dest: 2 + i%8, Src1: isa.RegNone, Src2: isa.RegNone})
+	}
+	tr := run(t, config.Baseline(), c.uops)
+	if tr.Cycles > n/4+220 {
+		t.Fatalf("independent µops took %d cycles; the 4-wide core should need ~%d", tr.Cycles, n/4)
+	}
+}
+
+// TestFULatencies checks that the execute stage charges the configured
+// per-class latency (a serial FpDiv chain costs ~24 cycles per link).
+func TestFULatencies(t *testing.T) {
+	c := &craft{}
+	const n = 50
+	for i := 0; i < n; i++ {
+		c.add(isa.MicroOp{Class: isa.FpDiv, Dest: isa.NumIntRegs, Src1: isa.NumIntRegs, Src2: isa.RegNone})
+	}
+	cfg := config.Baseline()
+	tr := run(t, cfg, c.uops)
+	want := int64(n * 24)
+	if tr.Cycles < want || tr.Cycles > want+250 {
+		t.Fatalf("FpDiv chain took %d cycles, want ~%d", tr.Cycles, want)
+	}
+}
+
+// TestMispredictPenalty compares an all-mispredicted branch stream against
+// an ALU stream of the same length: every branch must cost at least the
+// redirect penalty.
+func TestMispredictPenalty(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.Structure.Predictor = "taken" // never-taken branches always mispredict
+
+	mk := func(class isa.OpClass) []isa.MicroOp {
+		c := &craft{}
+		for i := 0; i < 40; i++ {
+			u := isa.MicroOp{Class: class, Dest: 3, Src1: 3, Src2: isa.RegNone}
+			if class == isa.Branch {
+				u.Dest = isa.RegNone
+				u.Taken = false
+			}
+			c.add(u)
+		}
+		return c.uops
+	}
+	alu := run(t, cfg, mk(isa.IntAlu))
+	br := run(t, cfg, mk(isa.Branch))
+	if br.Mispredicts != 40 {
+		t.Fatalf("mispredicts = %d, want 40", br.Mispredicts)
+	}
+	minExtra := int64(40 * 8) // 40 redirects at the Branch penalty
+	if br.Cycles-alu.Cycles < minExtra {
+		t.Fatalf("branch stream only %d cycles over ALU stream, want >= %d",
+			br.Cycles-alu.Cycles, minExtra)
+	}
+}
+
+// TestMacroOpCommitAtomicity checks that the first µop of a macro-op does
+// not retire before the whole macro-op completes.
+func TestMacroOpCommitAtomicity(t *testing.T) {
+	c := &craft{}
+	// Macro 0: a quick ALU (SoM) fused with a slow divide (EoM).
+	c.add(isa.MicroOp{Class: isa.IntAlu, Dest: 3, Src1: isa.RegNone, Src2: isa.RegNone})
+	c.uops[0].EoM = false
+	u := isa.MicroOp{Class: isa.IntDiv, Dest: 4, Src1: isa.RegNone, Src2: isa.RegNone,
+		Seq: 1, MacroSeq: 0, EoM: true, PC: 0x400010}
+	c.uops = append(c.uops, u)
+	tr := run(t, config.Baseline(), c.uops)
+	som, eom := &tr.Records[0], &tr.Records[1]
+	if som.T[trace.SCommit] <= eom.T[trace.SComplete] {
+		t.Fatalf("SoM committed at %d before EoM completed at %d",
+			som.T[trace.SCommit], eom.T[trace.SComplete])
+	}
+}
+
+// TestLoadWaitsForEarlierStore checks the conservative memory-ordering
+// constraint: a load issues no earlier than every preceding store.
+func TestLoadWaitsForEarlierStore(t *testing.T) {
+	c := &craft{}
+	// A slow divide produces the store's address register, delaying it.
+	c.add(isa.MicroOp{Class: isa.IntDiv, Dest: 5, Src1: isa.RegNone, Src2: isa.RegNone})
+	c.add(isa.MicroOp{Class: isa.Store, Dest: isa.RegNone, Src1: 3, Src2: 5, Addr: 0x10000})
+	c.add(isa.MicroOp{Class: isa.Load, Dest: 6, Src1: isa.RegNone, Src2: isa.RegNone, Addr: 0x20000})
+	tr := run(t, config.Baseline(), c.uops)
+	st, ld := &tr.Records[1], &tr.Records[2]
+	if ld.T[trace.SIssue] < st.T[trace.SIssue] {
+		t.Fatalf("load issued at %d before store at %d", ld.T[trace.SIssue], st.T[trace.SIssue])
+	}
+}
+
+// TestMSHRLineSharing checks that a second load to an in-flight line merges
+// into the fill instead of paying the full miss again.
+func TestMSHRLineSharing(t *testing.T) {
+	c := &craft{}
+	c.add(isa.MicroOp{Class: isa.Load, Dest: 3, Src1: isa.RegNone, Src2: isa.RegNone, Addr: 0x50000})
+	c.add(isa.MicroOp{Class: isa.Load, Dest: 4, Src1: isa.RegNone, Src2: isa.RegNone, Addr: 0x50008})
+	s, err := New(config.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the page translation through another line of the same page so
+	// both loads are DTLB hits and issue in age order.
+	s.WarmData([]uint64{0x50FC0})
+	tr, err := s.Run(c.uops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := &tr.Records[0], &tr.Records[1]
+	if second.ShareWith != 0 {
+		t.Fatalf("second load ShareWith = %d, want 0", second.ShareWith)
+	}
+	if second.T[trace.SComplete] > first.T[trace.SComplete]+8 {
+		t.Fatalf("merged load completed at %d, fill at %d",
+			second.T[trace.SComplete], first.T[trace.SComplete])
+	}
+}
+
+// TestROBStall checks that a tiny reorder buffer throttles a long-latency
+// shadow: shrinking the ROB must cost cycles on a miss-heavy stream.
+func TestROBStall(t *testing.T) {
+	mk := func() []isa.MicroOp {
+		c := &craft{}
+		for i := 0; i < 60; i++ {
+			// Strided far-apart loads: every one misses to memory.
+			c.add(isa.MicroOp{Class: isa.Load, Dest: 3, Src1: isa.RegNone, Src2: isa.RegNone,
+				Addr: uint64(0x100000 + i*4096)})
+			for j := 0; j < 4; j++ {
+				c.add(isa.MicroOp{Class: isa.IntAlu, Dest: 4, Src1: isa.RegNone, Src2: isa.RegNone})
+			}
+		}
+		return c.uops
+	}
+	big := config.Baseline()
+	small := config.Baseline()
+	small.Structure.ROBSize = 8
+	trBig := run(t, big, mk())
+	trSmall := run(t, small, mk())
+	if trSmall.Cycles <= trBig.Cycles {
+		t.Fatalf("ROB 8 (%d cycles) not slower than ROB 128 (%d cycles)",
+			trSmall.Cycles, trBig.Cycles)
+	}
+}
+
+// TestIssueQueueStallRecordsProvider checks that dispatch blocked on a full
+// issue queue records the issue-dependency edge.
+func TestIssueQueueStallRecordsProvider(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.Structure.IssueQSize = 4
+	c := &craft{}
+	// A long serial divide chain clogs the tiny issue queue.
+	for i := 0; i < 30; i++ {
+		c.add(isa.MicroOp{Class: isa.IntDiv, Dest: 5, Src1: 5, Src2: isa.RegNone})
+	}
+	tr := run(t, cfg, c.uops)
+	found := false
+	for i := range tr.Records {
+		if tr.Records[i].IQFreeBy != trace.None {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no µop recorded an issue-queue provider despite a clogged queue")
+	}
+}
+
+// TestDeterminism checks bit-identical traces across runs.
+func TestDeterminism(t *testing.T) {
+	prof, _ := workload.ByName("437.leslie3d")
+	uops := workload.Stream(prof, 9, 10000)
+	cfg := config.Baseline()
+	a := run(t, cfg, uops)
+	b := run(t, cfg, uops)
+	if a.Cycles != b.Cycles {
+		t.Fatalf("cycles differ: %d vs %d", a.Cycles, b.Cycles)
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+// TestWarmupReducesColdMisses checks that functional warming removes
+// compulsory misses from the measured region.
+func TestWarmupReducesColdMisses(t *testing.T) {
+	prof, _ := workload.ByName("416.gamess")
+	gen := workload.NewGenerator(prof, 3)
+	warm := gen.Take(30000)
+	uops := gen.Take(10000)
+	for !uops[0].SoM {
+		warm = append(warm, uops[0])
+		uops = uops[1:]
+	}
+	cfg := config.Baseline()
+
+	cold, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trCold, err := cold.Run(uops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot.WarmCode(gen.CodeLines())
+	hot.WarmData(gen.DataLines())
+	hot.WarmUp(warm)
+	trHot, err := hot.Run(uops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trHot.Cycles >= trCold.Cycles {
+		t.Fatalf("warmed run (%d cycles) not faster than cold run (%d)", trHot.Cycles, trCold.Cycles)
+	}
+}
+
+// TestPhysRegStall checks that exhausting physical registers gates rename.
+func TestPhysRegStall(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.Structure.PhysRegs = isa.NumRegs + 4 // only four rename registers
+	c := &craft{}
+	// One memory miss at the head keeps commits back while independents
+	// want registers.
+	c.add(isa.MicroOp{Class: isa.Load, Dest: 3, Src1: isa.RegNone, Src2: isa.RegNone, Addr: 0x90000})
+	for i := 0; i < 40; i++ {
+		c.add(isa.MicroOp{Class: isa.IntAlu, Dest: 4 + i%6, Src1: isa.RegNone, Src2: isa.RegNone})
+	}
+	tr := run(t, cfg, c.uops)
+	found := false
+	for i := range tr.Records {
+		if tr.Records[i].RegFreeBy != trace.None {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no µop recorded a register provider despite a tiny register file")
+	}
+}
+
+// TestRunEmptyAndInvalid covers the error paths.
+func TestRunEmptyAndInvalid(t *testing.T) {
+	s, err := New(config.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(nil)
+	if err != nil || tr.MicroOps() != 0 {
+		t.Fatal("empty run must succeed trivially")
+	}
+	bad := config.Baseline()
+	bad.Structure.ROBSize = -1
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	s2, _ := New(config.Baseline())
+	broken := []isa.MicroOp{{Class: isa.Load, Dest: 2, Src1: 0, Src2: isa.RegNone}} // no address
+	if _, err := s2.Run(broken); err == nil {
+		t.Fatal("invalid µop accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package depgraph
+
+import (
+	"repro/internal/stacks"
+)
+
+// LongestPath evaluates the graph under a latency assignment and returns the
+// length in cycles of the longest path ending at the sink (the commit of the
+// last µop). Re-running this per design point is the Fields-style graph
+// reconstruction method the paper compares against: O(edges) per point.
+func (g *Graph) LongestPath(l *stacks.Latencies) int64 {
+	dist := make([]int64, g.NumNodes())
+	for _, n := range g.evalOrder {
+		best := int64(0)
+		for _, e := range g.In(n) {
+			if d := dist[e.From] + e.W.Cycles(l); d > best {
+				best = d
+			}
+		}
+		dist[n] = best
+	}
+	return dist[g.Sink()]
+}
+
+// CriticalPath evaluates the graph under a latency assignment and returns
+// both the longest-path length and the stall-event stack of one longest path
+// (ties broken toward the first maximal in-edge). The stack is the CP1
+// baseline of the paper: a single critical path translated into a CPI stack.
+func (g *Graph) CriticalPath(l *stacks.Latencies) (int64, stacks.Stack) {
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	parent := make([]int32, n) // index into g.edges, -1 for sources
+	for i := range parent {
+		parent[i] = -1
+	}
+	for _, id := range g.evalOrder {
+		best := int64(0)
+		bestEdge := int32(-1)
+		s := g.nodeStart[id]
+		for k, e := range g.In(id) {
+			if d := dist[e.From] + e.W.Cycles(l); d > best || bestEdge < 0 {
+				best = d
+				bestEdge = s + int32(k)
+			}
+		}
+		dist[id] = best
+		parent[id] = bestEdge
+	}
+	var st stacks.Stack
+	for node := g.Sink(); ; {
+		pe := parent[node]
+		if pe < 0 {
+			break
+		}
+		e := &g.edges[pe]
+		for _, p := range e.W {
+			if p.N != 0 {
+				st.Add(p.Ev, float64(p.N))
+			}
+		}
+		node = e.From
+	}
+	return dist[g.Sink()], st
+}
+
+// Dists exposes the per-node longest-path distances for diagnostics and
+// tests.
+func (g *Graph) Dists(l *stacks.Latencies) []int64 {
+	dist := make([]int64, g.NumNodes())
+	for _, n := range g.evalOrder {
+		best := int64(0)
+		for _, e := range g.In(n) {
+			if d := dist[e.From] + e.W.Cycles(l); d > best {
+				best = d
+			}
+		}
+		dist[n] = best
+	}
+	return dist
+}

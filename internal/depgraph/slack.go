@@ -1,0 +1,102 @@
+package depgraph
+
+import (
+	"repro/internal/stacks"
+)
+
+// Slack analysis and interaction costs, after Fields et al. ([10] and [12]
+// in the paper) — the critical-path toolkit RpStacks builds on. Slack tells
+// an architect how much a µop's execution may be delayed without lengthening
+// the critical path; interaction cost tells whether two event classes
+// overlap (parallel penalties, icost < 0), are independent (icost = 0) or
+// serialize (icost > 0).
+
+// SlackReport holds per-µop completion slack in cycles.
+type SlackReport struct {
+	// Slack[i] is how many cycles µop i's completion (P node) can slip
+	// before the end-to-end critical path grows.
+	Slack []int64
+	// Critical counts µops with zero completion slack.
+	Critical int
+}
+
+// Slacks computes the completion slack of every µop in the window under a
+// latency assignment, via forward (earliest) and backward (latest) passes
+// over the DAG.
+func (g *Graph) Slacks(l *stacks.Latencies) *SlackReport {
+	n := g.NumNodes()
+	earliest := make([]int64, n)
+	for _, id := range g.evalOrder {
+		best := int64(0)
+		for _, e := range g.In(id) {
+			if d := earliest[e.From] + e.W.Cycles(l); d > best {
+				best = d
+			}
+		}
+		earliest[id] = best
+	}
+	total := earliest[g.Sink()]
+
+	// Backward pass: latest[u] = min over out-edges (latest[v] - w). Nodes
+	// with no out-edges float to the sink time.
+	latest := make([]int64, n)
+	for i := range latest {
+		latest[i] = total
+	}
+	order := g.evalOrder
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		lv := latest[v]
+		for _, e := range g.In(v) {
+			if cand := lv - e.W.Cycles(l); cand < latest[e.From] {
+				latest[e.From] = cand
+			}
+		}
+	}
+
+	rep := &SlackReport{Slack: make([]int64, g.NumMicroOps())}
+	for i := g.Lo; i < g.Hi; i++ {
+		p := g.Node(i, NP)
+		s := latest[p] - earliest[p]
+		if s < 0 {
+			s = 0
+		}
+		rep.Slack[i-g.Lo] = s
+		if s == 0 {
+			rep.Critical++
+		}
+	}
+	return rep
+}
+
+// InteractionCost measures how two event kinds interact on the critical path
+// (Fields et al.'s icost): with cost(X) = LP(base) - LP(X zeroed),
+//
+//	icost(A,B) = cost(A ∪ B) - cost(A) - cost(B).
+//
+// Positive values mean the events' penalties overlap in parallel: removing
+// either alone buys little because the other still covers the cycles, so
+// both must be optimized together — the paper's Figure 1a situation. Zero
+// means independent; negative means serial interaction (removing one also
+// removes part of the other's cost, e.g. a miss and the resource stall it
+// causes). "Zeroed" sets the event's latency to zero except Base, whose
+// floor is one cycle.
+func (g *Graph) InteractionCost(l *stacks.Latencies, a, b stacks.Event) int64 {
+	zero := func(ev stacks.Event, in stacks.Latencies) stacks.Latencies {
+		out := in
+		if ev == stacks.Base {
+			out[ev] = 1
+		} else {
+			out[ev] = 0
+		}
+		return out
+	}
+	base := g.LongestPath(l)
+	la := zero(a, *l)
+	lb := zero(b, *l)
+	lab := zero(b, la)
+	costA := base - g.LongestPath(&la)
+	costB := base - g.LongestPath(&lb)
+	costAB := base - g.LongestPath(&lab)
+	return costAB - costA - costB
+}

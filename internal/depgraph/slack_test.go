@@ -1,0 +1,131 @@
+package depgraph
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/stacks"
+	"repro/internal/workload"
+)
+
+// TestSlackBasics: slacks are non-negative, some µops are critical, and the
+// µops of a serial chain carry (near-)zero completion slack while work in a
+// long miss's shadow carries large slack.
+func TestSlackBasics(t *testing.T) {
+	cfg := config.Baseline()
+	var uops []isa.MicroOp
+	seq := uint64(0)
+	add := func(u isa.MicroOp) {
+		u.Seq, u.MacroSeq = seq, seq
+		u.SoM, u.EoM = true, true
+		u.PC = 0x400000
+		seq++
+		uops = append(uops, u)
+	}
+	// A memory-missing pointer chase (critical) with cheap independent ALU
+	// work in its shadow.
+	addr := uint64(0x4000_0000)
+	for i := 0; i < 20; i++ {
+		add(isa.MicroOp{Class: isa.Load, Dest: 2, Src1: 2, Src2: isa.RegNone, Addr: addr})
+		addr += 1 << 16
+		add(isa.MicroOp{Class: isa.IntAlu, Dest: 5, Src1: isa.RegNone, Src2: isa.RegNone})
+	}
+	tr := simTrace(t, cfg, uops)
+	g, err := Build(tr, &cfg.Structure, 0, len(tr.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := g.Slacks(&cfg.Lat)
+	if rep.Critical == 0 {
+		t.Fatal("some µops must be critical")
+	}
+	var loadSlack, aluSlack int64
+	var nl, na int64
+	for i := range tr.Records {
+		if rep.Slack[i] < 0 {
+			t.Fatalf("negative slack at µop %d", i)
+		}
+		// Skip the warm-up prefix of the window.
+		if i < 8 || i >= len(tr.Records)-8 {
+			continue
+		}
+		if tr.Records[i].Class == isa.Load {
+			loadSlack += rep.Slack[i]
+			nl++
+		} else {
+			aluSlack += rep.Slack[i]
+			na++
+		}
+	}
+	if nl == 0 || na == 0 {
+		t.Fatal("test workload malformed")
+	}
+	if loadSlack/nl >= aluSlack/na {
+		t.Fatalf("chase loads (mean slack %d) should be tighter than shadow ALUs (%d)",
+			loadSlack/nl, aluSlack/na)
+	}
+}
+
+// TestSlackConsistentWithCriticalPath: the sink-reaching critical path
+// length is unchanged, and zero-slack µops must include the critical path's
+// µops.
+func TestSlackConsistentWithCriticalPath(t *testing.T) {
+	cfg := config.Baseline()
+	prof, _ := workload.ByName("444.namd")
+	uops := workload.Stream(prof, 12, 1500)
+	tr := simTrace(t, cfg, uops)
+	g, err := Build(tr, &cfg.Structure, 0, len(tr.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := g.Slacks(&cfg.Lat)
+	if rep.Critical < 1 || rep.Critical > len(tr.Records) {
+		t.Fatalf("critical count %d out of range", rep.Critical)
+	}
+	// Slack never exceeds the end-to-end path length.
+	total := g.LongestPath(&cfg.Lat)
+	for i, s := range rep.Slack {
+		if s > total {
+			t.Fatalf("µop %d slack %d exceeds total %d", i, s, total)
+		}
+	}
+}
+
+// TestInteractionCostSigns: overlapped penalties yield negative interaction
+// cost; unrelated events yield (near-)zero.
+func TestInteractionCostSigns(t *testing.T) {
+	cfg := config.Baseline()
+	// Parallel chains: memory chase ∥ FP divides (the Figure 1a shape).
+	var uops []isa.MicroOp
+	seq := uint64(0)
+	add := func(u isa.MicroOp) {
+		u.Seq, u.MacroSeq = seq, seq
+		u.SoM, u.EoM = true, true
+		u.PC = 0x400000
+		seq++
+		uops = append(uops, u)
+	}
+	addr := uint64(0x4000_0000)
+	for i := 0; i < 30; i++ {
+		add(isa.MicroOp{Class: isa.Load, Dest: 2, Src1: 2, Src2: isa.RegNone, Addr: addr})
+		addr += 1 << 16
+		for j := 0; j < 5; j++ {
+			add(isa.MicroOp{Class: isa.FpDiv, Dest: isa.NumIntRegs, Src1: isa.NumIntRegs, Src2: isa.RegNone})
+		}
+	}
+	tr := simTrace(t, cfg, uops)
+	g, err := Build(tr, &cfg.Structure, 0, len(tr.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MemD and FpDiv overlap in parallel: optimizing both together buys
+	// much more than the sum of optimizing each alone => icost positive.
+	if ic := g.InteractionCost(&cfg.Lat, stacks.MemD, stacks.FpDiv); ic <= 0 {
+		t.Fatalf("parallel chains must have positive interaction cost, got %d", ic)
+	}
+	// Two events absent from the trace interact not at all.
+	if ic := g.InteractionCost(&cfg.Lat, stacks.IntMul, stacks.ITLB); ic != 0 {
+		t.Fatalf("absent events interaction cost %d, want 0", ic)
+	}
+}

@@ -1,0 +1,50 @@
+package depgraph
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestGraphTracksSimulator checks that the Table I graph model reproduces
+// the simulated cycle count of the traced configuration within a few
+// percent, across all workload profiles (the paper's Figure 10 premise).
+func TestGraphTracksSimulator(t *testing.T) {
+	cfg := config.Baseline()
+	for _, p := range workload.Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			uops := workload.Stream(p, 7, 15000)
+			s, err := cpu.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := s.Run(uops)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := Build(tr, &cfg.Structure, 0, len(tr.Records))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := g.LongestPath(&cfg.Lat)
+			errPct := stats.AbsPctErr(float64(got), float64(tr.Cycles))
+			t.Logf("sim=%d graph=%d err=%.2f%%", tr.Cycles, got, errPct)
+			if errPct > 10 {
+				t.Fatalf("graph model error %.2f%% too large (sim=%d graph=%d)", errPct, tr.Cycles, got)
+			}
+			// The critical-path stack must account exactly for the
+			// longest-path length.
+			total, st := g.CriticalPath(&cfg.Lat)
+			if total != got {
+				t.Fatalf("CriticalPath length %d != LongestPath %d", total, got)
+			}
+			if stTotal := st.Total(&cfg.Lat); int64(stTotal) != total {
+				t.Fatalf("critical stack total %.0f != path length %d", stTotal, total)
+			}
+		})
+	}
+}

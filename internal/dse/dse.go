@@ -1,0 +1,182 @@
+// Package dse drives latency-domain design space exploration with the three
+// competing engines the paper times against each other (Section V-C): full
+// re-simulation per design point, Fields-style dependence-graph
+// reconstruction per point, and RpStacks (one analysis, constant-time
+// prediction per point).
+package dse
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/depgraph"
+	"repro/internal/isa"
+	"repro/internal/stacks"
+)
+
+// Axis is one latency-domain dimension: the candidate cycle costs of one
+// event kind.
+type Axis struct {
+	Event  stacks.Event
+	Values []float64
+}
+
+// Space is a full-factorial latency design space around a baseline.
+type Space struct {
+	Axes []Axis
+}
+
+// Size returns the number of design points.
+func (s *Space) Size() int {
+	n := 1
+	for _, a := range s.Axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Point materializes design point idx (row-major over the axes) on top of
+// the base latency assignment.
+func (s *Space) Point(base stacks.Latencies, idx int) stacks.Latencies {
+	l := base
+	for _, a := range s.Axes {
+		n := len(a.Values)
+		l[a.Event] = a.Values[idx%n]
+		idx /= n
+	}
+	return l
+}
+
+// Enumerate materializes every design point.
+func (s *Space) Enumerate(base stacks.Latencies) []stacks.Latencies {
+	out := make([]stacks.Latencies, s.Size())
+	for i := range out {
+		out[i] = s.Point(base, i)
+	}
+	return out
+}
+
+// Validate checks the space is well-formed.
+func (s *Space) Validate() error {
+	if len(s.Axes) == 0 {
+		return fmt.Errorf("dse: empty design space")
+	}
+	for _, a := range s.Axes {
+		if !a.Event.Optimizable() {
+			return fmt.Errorf("dse: event %s is not a latency-domain knob", a.Event)
+		}
+		if len(a.Values) == 0 {
+			return fmt.Errorf("dse: axis %s has no values", a.Event)
+		}
+		for _, v := range a.Values {
+			if v < 0 {
+				return fmt.Errorf("dse: axis %s has negative latency %g", a.Event, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Result is the predicted (or measured) cycle count of one design point.
+type Result struct {
+	Lat    stacks.Latencies
+	Cycles float64
+}
+
+// Report carries the results of one exploration plus its wall-clock cost
+// split into one-time setup and the per-point loop.
+type Report struct {
+	Method   string
+	Results  []Result
+	Setup    time.Duration
+	PerPoint time.Duration
+}
+
+// Total returns the wall-clock cost of exploring n points with this
+// method's measured timings.
+func (r *Report) Total(n int) time.Duration {
+	return r.Setup + time.Duration(n)*r.PerPoint
+}
+
+// ExploreSim measures every design point by re-running the timing
+// simulator: the ground truth, and the cost yardstick of Figure 13.
+func ExploreSim(cfg *config.Config, uops []isa.MicroOp, points []stacks.Latencies) (*Report, error) {
+	rep := &Report{Method: "simulator", Results: make([]Result, 0, len(points))}
+	start := time.Now()
+	for _, l := range points {
+		c := cfg.Clone()
+		c.Lat = l
+		s, err := cpu.New(c)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := s.Run(uops)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, Result{Lat: l, Cycles: float64(tr.Cycles)})
+	}
+	if len(points) > 0 {
+		rep.PerPoint = time.Since(start) / time.Duration(len(points))
+	}
+	return rep, nil
+}
+
+// ExploreGraph predicts every design point by re-evaluating the longest
+// path of a prebuilt baseline dependence graph (the Fields-style
+// reconstruction comparator): cheaper than simulation, still linear in
+// trace length per point.
+func ExploreGraph(g *depgraph.Graph, points []stacks.Latencies) *Report {
+	rep := &Report{Method: "graph", Results: make([]Result, 0, len(points))}
+	start := time.Now()
+	for _, l := range points {
+		l := l
+		rep.Results = append(rep.Results, Result{Lat: l, Cycles: float64(g.LongestPath(&l))})
+	}
+	if len(points) > 0 {
+		rep.PerPoint = time.Since(start) / time.Duration(len(points))
+	}
+	return rep
+}
+
+// ExploreRpStacks predicts every design point from a prebuilt RpStacks
+// analysis: per point the cost is proportional to the (small) number of
+// representative stacks, independent of trace length.
+func ExploreRpStacks(a *core.Analysis, points []stacks.Latencies) *Report {
+	rep := &Report{Method: "rpstacks", Results: make([]Result, 0, len(points))}
+	start := time.Now()
+	for _, l := range points {
+		l := l
+		rep.Results = append(rep.Results, Result{Lat: l, Cycles: a.Predict(&l)})
+	}
+	if len(points) > 0 {
+		rep.PerPoint = time.Since(start) / time.Duration(len(points))
+	}
+	return rep
+}
+
+// Crossover returns the design-point count beyond which method a (with
+// setup cost) beats method b, or -1 if it never does within limit.
+func Crossover(a, b *Report, limit int) int {
+	for n := 1; n <= limit; n++ {
+		if a.Total(n) < b.Total(n) {
+			return n
+		}
+	}
+	return -1
+}
+
+// BestUnder returns the results meeting a target cycle budget, the design
+// points "meeting the design goal" of the paper's Figure 6 scenario.
+func BestUnder(results []Result, cycleBudget float64) []Result {
+	var out []Result
+	for _, r := range results {
+		if r.Cycles <= cycleBudget {
+			out = append(out, r)
+		}
+	}
+	return out
+}

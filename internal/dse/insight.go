@@ -1,0 +1,160 @@
+package dse
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/stacks"
+)
+
+// InsightStep is one move of the insight-driven exploration: the design
+// point simulated and its outcome.
+type InsightStep struct {
+	Lat    stacks.Latencies
+	Cycles float64
+}
+
+// InsightReport is the outcome of a greedy, simulation-per-step exploration
+// — the paper's "insight-driven approach" of Figure 6c: an architect reads
+// the previous result, picks the most promising single-axis move, and
+// launches the next simulation. It covers far fewer points per unit time
+// than RpStacks and can stop at a local optimum.
+type InsightReport struct {
+	Steps    []InsightStep
+	Best     InsightStep
+	PerPoint time.Duration
+}
+
+// ExploreInsight runs budget simulations of greedy axis-aligned descent
+// over the space, starting from the baseline assignment. Each step tries
+// the next untested neighbor that the current CPI stack suggests (largest
+// remaining axis value first) and keeps it when it improves.
+func ExploreInsight(cfg *config.Config, uops []isa.MicroOp, sp Space, budget int) (*InsightReport, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if budget < 1 {
+		return nil, fmt.Errorf("dse: insight exploration needs a positive budget")
+	}
+	simulate := func(l stacks.Latencies) (float64, error) {
+		c := cfg.Clone()
+		c.Lat = l
+		s, err := cpu.New(c)
+		if err != nil {
+			return 0, err
+		}
+		tr, err := s.Run(uops)
+		if err != nil {
+			return 0, err
+		}
+		return float64(tr.Cycles), nil
+	}
+
+	rep := &InsightReport{}
+	start := time.Now()
+	cur := cfg.Lat
+	curCycles, err := simulate(cur)
+	if err != nil {
+		return nil, err
+	}
+	rep.Steps = append(rep.Steps, InsightStep{Lat: cur, Cycles: curCycles})
+	rep.Best = rep.Steps[0]
+
+	// Greedy: walk the axes round-robin, trying the next lower value of
+	// each event; keep improvements, abandon regressions.
+	idx := make([]int, len(sp.Axes))
+	for i, ax := range sp.Axes {
+		idx[i] = len(ax.Values) // one past the smallest tried
+	}
+	axis := 0
+	for len(rep.Steps) < budget {
+		tried := false
+		for probe := 0; probe < len(sp.Axes); probe++ {
+			a := (axis + probe) % len(sp.Axes)
+			if idx[a] == 0 {
+				continue
+			}
+			idx[a]--
+			cand := cur
+			cand[sp.Axes[a].Event] = sp.Axes[a].Values[idx[a]]
+			cycles, err := simulate(cand)
+			if err != nil {
+				return nil, err
+			}
+			rep.Steps = append(rep.Steps, InsightStep{Lat: cand, Cycles: cycles})
+			if cycles < curCycles {
+				cur, curCycles = cand, cycles
+			}
+			if cycles < rep.Best.Cycles {
+				rep.Best = InsightStep{Lat: cand, Cycles: cycles}
+			}
+			axis = (a + 1) % len(sp.Axes)
+			tried = true
+			break
+		}
+		if !tried {
+			break // all axis values exhausted
+		}
+	}
+	if len(rep.Steps) > 0 {
+		rep.PerPoint = time.Since(start) / time.Duration(len(rep.Steps))
+	}
+	return rep, nil
+}
+
+// StructurePoint pairs a structure variant with its exploration outcome:
+// the paper's full workflow explores structures by simulation and, within
+// each structure, covers the whole latency space with one RpStacks analysis
+// (Figure 6c).
+type StructurePoint struct {
+	Name      string
+	Mutate    func(*config.Structure)
+	BestCPI   float64
+	BestLat   stacks.Latencies
+	LatPoints int
+}
+
+// ExploreStructures runs the two-level exploration: for each structure
+// variant, simulate + analyze once, sweep the latency space with RpStacks,
+// and report the variant's best point.
+func ExploreStructures(base *config.Config, uops []isa.MicroOp, variants []StructurePoint, sp Space,
+	analyze func(cfg *config.Config, uops []isa.MicroOp) (interface {
+		Predict(*stacks.Latencies) float64
+	}, error)) ([]StructurePoint, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]StructurePoint, len(variants))
+	for i, v := range variants {
+		cfg := base.Clone()
+		if v.Mutate != nil {
+			v.Mutate(&cfg.Structure)
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("dse: structure %q: %w", v.Name, err)
+		}
+		an, err := analyze(cfg, uops)
+		if err != nil {
+			return nil, err
+		}
+		points := sp.Enumerate(cfg.Lat)
+		best := -1.0
+		var bestLat stacks.Latencies
+		for _, l := range points {
+			l := l
+			if c := an.Predict(&l); best < 0 || c < best {
+				best, bestLat = c, l
+			}
+		}
+		out[i] = StructurePoint{
+			Name:      v.Name,
+			BestCPI:   best / float64(len(uops)),
+			BestLat:   bestLat,
+			LatPoints: len(points),
+		}
+	}
+	return out, nil
+}

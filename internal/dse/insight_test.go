@@ -1,0 +1,82 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/stacks"
+	"repro/internal/workload"
+)
+
+func TestExploreInsight(t *testing.T) {
+	cfg := config.Baseline()
+	prof, _ := workload.ByName("444.namd")
+	uops := workload.Stream(prof, 3, 2500)
+	sp := Space{Axes: []Axis{
+		{Event: stacks.FpMul, Values: []float64{2, 4, 6}},
+		{Event: stacks.FpAdd, Values: []float64{2, 4, 6}},
+	}}
+	rep, err := ExploreInsight(cfg, uops, sp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != 5 {
+		t.Fatalf("took %d steps, want 5", len(rep.Steps))
+	}
+	if rep.Best.Cycles > rep.Steps[0].Cycles {
+		t.Fatal("greedy descent ended worse than the baseline")
+	}
+	// Error paths.
+	if _, err := ExploreInsight(cfg, uops, sp, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := ExploreInsight(cfg, uops, Space{}, 3); err == nil {
+		t.Fatal("empty space accepted")
+	}
+}
+
+func TestExploreStructures(t *testing.T) {
+	cfg := config.Baseline()
+	prof, _ := workload.ByName("456.hmmer")
+	uops := workload.Stream(prof, 3, 3000)
+	sp := Space{Axes: []Axis{
+		{Event: stacks.L1D, Values: []float64{2, 4}},
+		{Event: stacks.IntMul, Values: []float64{2, 4}},
+	}}
+	variants := []StructurePoint{
+		{Name: "baseline"},
+		{Name: "rob32", Mutate: func(s *config.Structure) { s.ROBSize = 32 }},
+	}
+	analyze := func(c *config.Config, u []isa.MicroOp) (interface {
+		Predict(*stacks.Latencies) float64
+	}, error) {
+		s, err := cpu.New(c)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := s.Run(u)
+		if err != nil {
+			return nil, err
+		}
+		return core.Analyze(tr, &c.Structure, &c.Lat, core.DefaultOptions())
+	}
+	out, err := ExploreStructures(cfg, uops, variants, sp, analyze)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d structure results", len(out))
+	}
+	for _, o := range out {
+		if o.LatPoints != 4 || o.BestCPI <= 0 {
+			t.Fatalf("%s: broken result %+v", o.Name, o)
+		}
+	}
+	// A 32-entry ROB cannot beat the 128-entry baseline.
+	if out[1].BestCPI < out[0].BestCPI {
+		t.Fatalf("rob32 best CPI %.3f beats baseline %.3f", out[1].BestCPI, out[0].BestCPI)
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stacks"
+)
+
+// Fig1Result reproduces Figure 1a quantitatively: on the crafted workload
+// whose memory misses hide an FP chain, optimizing the exposed bottleneck
+// buys far less than its apparent cost, and the interaction cost between the
+// two event kinds is strongly positive (parallel overlap).
+type Fig1Result struct {
+	BaseCycles    float64
+	ApparentSave  float64 // MemD cycles exposed in the baseline stack
+	ActualSave    float64 // measured cycles saved when MemD is optimized
+	Interaction   int64   // icost(MemD, FpDiv) on the dependence graph
+	HiddenPenalty float64 // cycles the hidden FP chain claims back
+}
+
+// Fig1 runs the hidden-penalty demonstration.
+func (r *Runner) Fig1() (*Fig1Result, error) {
+	a, err := r.crafted()
+	if err != nil {
+		return nil, err
+	}
+	base := r.Cfg.Lat
+	rep := a.Analysis.Representative(&base)
+	pen := rep.Penalties(&base)
+
+	opt := base.With(stacks.MemD, 1)
+	truthOpt, err := r.Truth(a, &opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{
+		BaseCycles:   float64(a.Trace.Cycles),
+		ApparentSave: pen[stacks.MemD] * (base[stacks.MemD] - 1) / base[stacks.MemD],
+		ActualSave:   float64(a.Trace.Cycles) - truthOpt,
+		Interaction:  a.Graph.InteractionCost(&base, stacks.MemD, stacks.FpDiv),
+	}
+	res.HiddenPenalty = res.ApparentSave - res.ActualSave
+	return res, nil
+}
+
+// String renders the demonstration.
+func (f *Fig1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1a: penalties hidden in an out-of-order core\n\n")
+	fmt.Fprintf(&b, "baseline cycles:          %.0f\n", f.BaseCycles)
+	fmt.Fprintf(&b, "apparent MemD exposure:   %.0f cycles\n", f.ApparentSave)
+	fmt.Fprintf(&b, "actual saving (re-sim):   %.0f cycles\n", f.ActualSave)
+	fmt.Fprintf(&b, "claimed back by the hidden FP chain: %.0f cycles\n", f.HiddenPenalty)
+	fmt.Fprintf(&b, "interaction cost icost(MemD, FpDiv): %+d (positive = parallel overlap)\n", f.Interaction)
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/stacks"
+	"repro/internal/stats"
+)
+
+// Fig10Events is the default optimization-event list for the graph-model
+// accuracy study (a subset of the paper's list keeps re-simulation counts
+// tractable; widen it via the parameter of Fig10).
+var Fig10Events = []stacks.Event{
+	stacks.L1D, stacks.L2D, stacks.MemD, stacks.FpAdd, stacks.FpMul, stacks.IntDiv,
+}
+
+// Fig10Row is one workload's error distribution.
+type Fig10Row struct {
+	App     string
+	Summary stats.Boxplot // |graph - sim|/sim in percent over all configs
+	Configs int
+}
+
+// Fig10Result reproduces Figure 10: the dependence-graph model's cycle
+// error against re-simulation when one-cycle latencies are imposed on
+// combinations of up to two events.
+type Fig10Result struct {
+	Rows   []Fig10Row
+	Events []stacks.Event
+}
+
+// Fig10 runs the graph-model accuracy study over the whole suite. events
+// may be nil to use Fig10Events.
+func (r *Runner) Fig10(events []stacks.Event) (*Fig10Result, error) {
+	if events == nil {
+		events = Fig10Events
+	}
+	// Up-to-two-event one-cycle optimization configurations.
+	var configs []stacks.Latencies
+	for i, e := range events {
+		configs = append(configs, r.Cfg.Lat.With(e, 1))
+		for _, e2 := range events[i+1:] {
+			configs = append(configs, r.Cfg.Lat.With(e, 1).With(e2, 1))
+		}
+	}
+	res := &Fig10Result{Events: events}
+	for _, name := range Suite() {
+		a, err := r.App(name)
+		if err != nil {
+			return nil, err
+		}
+		var errs []float64
+		for i := range configs {
+			l := configs[i]
+			truth, err := r.Truth(a, &l)
+			if err != nil {
+				return nil, err
+			}
+			pred := float64(a.Graph.LongestPath(&l))
+			errs = append(errs, stats.AbsPctErr(pred, truth))
+		}
+		res.Rows = append(res.Rows, Fig10Row{App: name, Summary: stats.Summarize(errs), Configs: len(configs)})
+	}
+	return res, nil
+}
+
+// String renders the figure as the boxplot table the paper plots.
+func (f *Fig10Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: dependence-graph model error vs. simulator\n")
+	fmt.Fprintf(&b, "(one-cycle latency imposed on up to two of %v; %d configs/app)\n\n",
+		f.Events, f.Rows[0].Configs)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "app\tmin%\tq1%\tmedian%\tq3%\tmax%")
+	for _, row := range f.Rows {
+		s := row.Summary
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n", row.App, s.Min, s.Q1, s.Median, s.Q3, s.Max)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/stacks"
+	"repro/internal/stats"
+)
+
+// MethodErr is one prediction method's error summary over the optimization
+// scenarios of a workload.
+type MethodErr struct {
+	Mean, Max float64
+}
+
+// Fig11Row is one workload's prediction-accuracy comparison.
+type Fig11Row struct {
+	App         string
+	BaselineCPI float64
+	Bottlenecks []stacks.Event
+	RpStacks    MethodErr
+	CP1         MethodErr
+	FMT         MethodErr
+}
+
+// Fig11Result reproduces Figure 11: prediction error of RpStacks, single
+// critical path (CP1) and pipeline-stall analysis (FMT) when the latencies
+// of up to two major bottleneck events are reduced.
+type Fig11Result struct {
+	Label string
+	Scale float64
+	Rows  []Fig11Row
+}
+
+// Scenarios returns the latency configurations of the paper's optimization
+// study for a workload: each of the top-two bottleneck events scaled alone,
+// and both together.
+func (r *Runner) Scenarios(a *App, scale float64) []stacks.Latencies {
+	bots := a.Bottlenecks(&r.Cfg.Lat, 2)
+	var out []stacks.Latencies
+	for _, e := range bots {
+		out = append(out, r.Cfg.Lat.Scale(e, scale))
+	}
+	if len(bots) == 2 {
+		out = append(out, r.Cfg.Lat.Scale(bots[0], scale).Scale(bots[1], scale))
+	}
+	return out
+}
+
+// Fig11 runs the study at the given latency scale factor: 0.5 reproduces
+// Figure 11a ("reduced to half"), 0.15 reproduces Figure 11b ("reduced to
+// 10~25%", integer-rounded per event).
+func (r *Runner) Fig11(label string, scale float64) (*Fig11Result, error) {
+	res := &Fig11Result{Label: label, Scale: scale}
+	for _, name := range Suite() {
+		a, err := r.App(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig11Row{
+			App:         name,
+			BaselineCPI: a.Trace.CPI(),
+			Bottlenecks: a.Bottlenecks(&r.Cfg.Lat, 2),
+		}
+		var rp, cp, fm []float64
+		for _, l := range r.Scenarios(a, scale) {
+			l := l
+			truth, err := r.Truth(a, &l)
+			if err != nil {
+				return nil, err
+			}
+			rp = append(rp, stats.AbsPctErr(a.Analysis.Predict(&l), truth))
+			cp = append(cp, stats.AbsPctErr(a.CP1.Predict(&l), truth))
+			fm = append(fm, stats.AbsPctErr(a.FMT.Predict(&l), truth))
+		}
+		row.RpStacks = MethodErr{Mean: stats.Mean(rp), Max: stats.Max(rp)}
+		row.CP1 = MethodErr{Mean: stats.Mean(cp), Max: stats.Max(cp)}
+		row.FMT = MethodErr{Mean: stats.Mean(fm), Max: stats.Max(fm)}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Means returns the suite-wide mean error per method.
+func (f *Fig11Result) Means() (rp, cp, fm float64) {
+	var a, b, c []float64
+	for _, row := range f.Rows {
+		a = append(a, row.RpStacks.Mean)
+		b = append(b, row.CP1.Mean)
+		c = append(c, row.FMT.Mean)
+	}
+	return stats.Mean(a), stats.Mean(b), stats.Mean(c)
+}
+
+// String renders the per-app error bars of the figure.
+func (f *Fig11Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11%s: CPI prediction error, bottleneck latencies scaled by %.2f\n\n", f.Label, f.Scale)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "app\tbaseCPI\tbottlenecks\tRpStacks mean/max%\tCP1 mean/max%\tFMT mean/max%")
+	for _, row := range f.Rows {
+		bots := make([]string, len(row.Bottlenecks))
+		for i, e := range row.Bottlenecks {
+			bots[i] = e.String()
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%s\t%.2f/%.2f\t%.2f/%.2f\t%.2f/%.2f\n",
+			row.App, row.BaselineCPI, strings.Join(bots, "+"),
+			row.RpStacks.Mean, row.RpStacks.Max,
+			row.CP1.Mean, row.CP1.Max,
+			row.FMT.Mean, row.FMT.Max)
+	}
+	w.Flush()
+	rp, cp, fm := f.Means()
+	fmt.Fprintf(&b, "\nsuite means: RpStacks %.2f%%  CP1 %.2f%%  FMT %.2f%%\n", rp, cp, fm)
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/stacks"
+)
+
+// Fig12Row is one workload's baseline CPI stack.
+type Fig12Row struct {
+	App       string
+	CPI       float64
+	Penalties [stacks.NumEvents]float64 // per-µop cycles by event
+}
+
+// Fig12Result reproduces Figure 12: the bottleneck composition and baseline
+// CPI of every application, from the RpStacks representative stack of the
+// baseline configuration.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// Fig12 computes the baseline CPI stacks of the whole suite.
+func (r *Runner) Fig12() (*Fig12Result, error) {
+	res := &Fig12Result{}
+	for _, name := range Suite() {
+		a, err := r.App(name)
+		if err != nil {
+			return nil, err
+		}
+		rep := a.Analysis.Representative(&r.Cfg.Lat)
+		pen := rep.Penalties(&r.Cfg.Lat)
+		n := float64(len(a.Trace.Records))
+		for e := range pen {
+			pen[e] /= n
+		}
+		res.Rows = append(res.Rows, Fig12Row{App: name, CPI: a.Trace.CPI(), Penalties: pen})
+	}
+	return res, nil
+}
+
+// String renders each application's stack, largest components first.
+func (f *Fig12Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12: bottlenecks and baseline CPIs (RpStacks decomposition, cycles/µop)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "app\tCPI\ttop components")
+	for _, row := range f.Rows {
+		type comp struct {
+			e stacks.Event
+			c float64
+		}
+		var comps []comp
+		for e := range row.Penalties {
+			if row.Penalties[e] > 0 {
+				comps = append(comps, comp{stacks.Event(e), row.Penalties[e]})
+			}
+		}
+		sort.Slice(comps, func(i, j int) bool { return comps[i].c > comps[j].c })
+		if len(comps) > 6 {
+			comps = comps[:6]
+		}
+		parts := make([]string, len(comps))
+		for i, c := range comps {
+			parts[i] = fmt.Sprintf("%s=%.2f", c.e, c.c)
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%s\n", row.App, row.CPI, strings.Join(parts, " "))
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestFig12Dump prints the suite's baseline CPI stacks for inspection and
+// checks basic sanity: positive CPIs and diverse top bottlenecks.
+func TestFig12Dump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite-wide simulation")
+	}
+	r := testRunner()
+	f, err := r.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", f)
+	seen := map[string]bool{}
+	for _, row := range f.Rows {
+		if row.CPI <= 0.2 || row.CPI > 50 {
+			t.Errorf("%s: implausible CPI %.2f", row.App, row.CPI)
+		}
+		best, bestC := "", 0.0
+		for e, c := range row.Penalties {
+			if e != 0 && c > bestC { // skip Base
+				best, bestC = stacksEventName(e), c
+			}
+		}
+		seen[best] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("top bottlenecks not diverse: %v", seen)
+	}
+}
+
+func stacksEventName(e int) string {
+	return [...]string{"Base", "L1I", "L2I", "MemI", "ITLB", "L1D", "L2D", "MemD", "DTLB",
+		"Agu", "Store", "Branch", "IntAlu", "IntMul", "IntDiv", "FpAdd", "FpMul", "FpDiv"}[e]
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Fig14Point is one execution-parameter combination's outcome.
+type Fig14Point struct {
+	SegmentLength int
+	Threshold     float64
+	Unique        bool
+	AvgErr        float64 // geomean over apps of the mean scenario error (%)
+	MaxErr        float64 // geomean over apps of the max scenario error (%)
+	Stacks        float64 // mean representative stack count per app
+	NormTime      float64 // analysis time normalized to the default combo
+}
+
+// Fig14Result reproduces Figure 14: sensitivity of accuracy and execution
+// time to the segment length, the cosine similarity threshold and the
+// uniqueness preservation switch, scored on the Figure 11b scenarios.
+type Fig14Result struct {
+	Apps   []string
+	Points []Fig14Point
+}
+
+// Fig14 sweeps the execution parameters over the named workloads (nil for a
+// representative subset). Ground truths are shared with Fig11b via the
+// Runner cache.
+func (r *Runner) Fig14(names []string, segLens []int, thresholds []float64) (*Fig14Result, error) {
+	if names == nil {
+		names = []string{"416.gamess", "437.leslie3d", "429.mcf", "456.hmmer", "450.soplex"}
+	}
+	if segLens == nil {
+		segLens = []int{1000, 5000, 10000}
+	}
+	if thresholds == nil {
+		thresholds = []float64{0.5, 0.7, 0.9}
+	}
+	const scale = 0.15 // the Figure 11b scenario
+
+	// Pre-resolve apps, scenarios and truths once.
+	apps := make([]*App, 0, len(names))
+	truths := make([][]float64, 0, len(names))
+	for _, name := range names {
+		a, err := r.App(name)
+		if err != nil {
+			return nil, err
+		}
+		var ts []float64
+		for _, l := range r.Scenarios(a, scale) {
+			l := l
+			t, err := r.Truth(a, &l)
+			if err != nil {
+				return nil, err
+			}
+			ts = append(ts, t)
+		}
+		apps = append(apps, a)
+		truths = append(truths, ts)
+	}
+
+	res := &Fig14Result{Apps: names}
+	var defaultTime time.Duration
+	def := r.Opts
+	for _, uniq := range []bool{true, false} {
+		for _, seg := range segLens {
+			for _, th := range thresholds {
+				opts := def
+				opts.SegmentLength = seg
+				opts.CosineThreshold = th
+				opts.PreserveUnique = uniq
+
+				var avgErrs, maxErrs []float64
+				var stacksSum float64
+				var elapsed time.Duration
+				for ai, a := range apps {
+					start := time.Now()
+					an, err := core.Analyze(a.Trace, &r.Cfg.Structure, &r.Cfg.Lat, opts)
+					if err != nil {
+						return nil, err
+					}
+					elapsed += time.Since(start)
+					var errs []float64
+					for si, l := range r.Scenarios(a, scale) {
+						l := l
+						errs = append(errs, stats.AbsPctErr(an.Predict(&l), truths[ai][si]))
+					}
+					avgErrs = append(avgErrs, stats.Mean(errs))
+					maxErrs = append(maxErrs, stats.Max(errs))
+					stacksSum += float64(an.NumStacks())
+				}
+				p := Fig14Point{
+					SegmentLength: seg,
+					Threshold:     th,
+					Unique:        uniq,
+					AvgErr:        stats.GeoMean(avgErrs),
+					MaxErr:        stats.GeoMean(maxErrs),
+					Stacks:        stacksSum / float64(len(apps)),
+				}
+				if uniq == def.PreserveUnique && seg == def.SegmentLength && th == def.CosineThreshold {
+					defaultTime = elapsed
+				}
+				// NormTime filled after the sweep once the default is known.
+				p.NormTime = float64(elapsed)
+				res.Points = append(res.Points, p)
+			}
+		}
+	}
+	if defaultTime <= 0 {
+		defaultTime = time.Duration(res.Points[0].NormTime)
+	}
+	for i := range res.Points {
+		res.Points[i].NormTime /= float64(defaultTime)
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (f *Fig14Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 14: execution parameter sensitivity (apps: %s)\n\n", strings.Join(f.Apps, ", "))
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "unique\tsegment\tcosine\tavg-err%\tmax-err%\tstacks\tnorm-time")
+	for _, p := range f.Points {
+		fmt.Fprintf(w, "%v\t%d\t%.1f\t%.2f\t%.2f\t%.0f\t%.2f\n",
+			p.Unique, p.SegmentLength, p.Threshold, p.AvgErr, p.MaxErr, p.Stacks, p.NormTime)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stacks"
+)
+
+// Fig5Result reproduces Figure 5: the stall-event stacks of the distinctive
+// execution paths of one workload (per-segment representatives) and the
+// selected RpStacks.
+type Fig5Result struct {
+	App      string
+	Baseline stacks.Latencies
+	// PathStacks are the representative stacks of the first segment,
+	// longest first — the "execution paths" panel.
+	PathStacks []stacks.Stack
+	// SegmentLo/Hi locate the displayed segment.
+	SegmentLo, SegmentHi int
+	// Representative is the whole-trace aggregated stack at the baseline.
+	Representative stacks.Stack
+	MicroOps       int
+	TotalStacks    int
+}
+
+// Fig5 extracts the path stacks of the named workload (the paper uses
+// 416.gamess).
+func (r *Runner) Fig5(name string) (*Fig5Result, error) {
+	a, err := r.App(name)
+	if err != nil {
+		return nil, err
+	}
+	seg := a.Analysis.Segments[0]
+	paths := append([]stacks.Stack(nil), seg.Stacks...)
+	base := r.Cfg.Lat
+	sort.Slice(paths, func(i, j int) bool {
+		return paths[i].Total(&base) > paths[j].Total(&base)
+	})
+	return &Fig5Result{
+		App:            name,
+		Baseline:       base,
+		PathStacks:     paths,
+		SegmentLo:      seg.Lo,
+		SegmentHi:      seg.Hi,
+		Representative: a.Analysis.Representative(&base),
+		MicroOps:       len(a.Trace.Records),
+		TotalStacks:    a.Analysis.NumStacks(),
+	}, nil
+}
+
+// String renders the stacks as per-path CPI decompositions.
+func (f *Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: representative stall-event stacks of %s\n", f.App)
+	fmt.Fprintf(&b, "(segment µops [%d,%d); %d representative stacks across the trace)\n\n",
+		f.SegmentLo, f.SegmentHi, f.TotalStacks)
+	show := f.PathStacks
+	if len(show) > 10 {
+		show = show[:10]
+	}
+	segLen := float64(f.SegmentHi - f.SegmentLo)
+	for i := range show {
+		s := show[i]
+		cpi := s.Total(&f.Baseline) / segLen
+		fmt.Fprintf(&b, "  path %2d: CPI %.3f  %s\n", i+1, cpi, s.Format(&f.Baseline))
+	}
+	rep := f.Representative
+	fmt.Fprintf(&b, "\nwhole-trace representative (baseline): CPI %.3f  %s\n",
+		rep.Total(&f.Baseline)/float64(f.MicroOps), rep.Format(&f.Baseline))
+	return b.String()
+}

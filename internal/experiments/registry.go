@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Descriptor names one reproducible experiment.
+type Descriptor struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) (fmt.Stringer, error)
+}
+
+// Registry returns every experiment, keyed by the paper's figure/table ids.
+func Registry() []Descriptor {
+	ds := []Descriptor{
+		{"fig1", "hidden penalties and interaction cost", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig1()
+		}},
+		{"fig2", "simulation speed and exploration scaling", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig2("416.gamess")
+		}},
+		{"fig3", "overlapped-event accounting vs pipeline-stall analysis", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig3()
+		}},
+		{"fig4", "critical-path switch vs single-critical-path analysis", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig4()
+		}},
+		{"fig5", "representative stall-event stacks (416.gamess)", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig5("416.gamess")
+		}},
+		{"fig6a", "design exploration scenario (416.gamess)", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig6("416.gamess")
+		}},
+		{"fig6b", "design exploration scenario (437.leslie3d)", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig6("437.leslie3d")
+		}},
+		{"fig6c", "exploration coverage comparison", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig6c("416.gamess", 250)
+		}},
+		{"fig10", "dependence-graph model accuracy", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig10(nil)
+		}},
+		{"fig11a", "prediction accuracy, bottleneck latencies halved", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig11("a", 0.5)
+		}},
+		{"fig11b", "prediction accuracy, latencies reduced to 10~25%", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig11("b", 0.15)
+		}},
+		{"fig12", "bottlenecks and baseline CPI stacks", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig12()
+		}},
+		{"fig13", "design space exploration overhead", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig13(nil)
+		}},
+		{"fig14", "execution parameter sensitivity", func(r *Runner) (fmt.Stringer, error) {
+			return r.Fig14(nil, nil, nil)
+		}},
+		{"sec4d", "branch predictor structure study (458.sjeng)", func(r *Runner) (fmt.Stringer, error) {
+			return r.PredictorStudy("458.sjeng")
+		}},
+	}
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].ID < ds[j].ID })
+	return ds
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Descriptor, error) {
+	for _, d := range Registry() {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return Descriptor{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

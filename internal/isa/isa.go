@@ -1,0 +1,160 @@
+// Package isa models the dynamic instruction stream of the target x86-style
+// microarchitecture at micro-op granularity. A macro-op (x86 instruction)
+// decodes into one or more micro-ops; issue happens per micro-op while commit
+// happens per macro-op, which is the granularity mismatch the paper's
+// MacroOp-boundary trace records (SoM/EoM) exist to capture.
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/stacks"
+)
+
+// OpClass classifies a micro-op by the functional unit work it performs.
+type OpClass uint8
+
+const (
+	IntAlu OpClass = iota // simple integer/logic operation
+	IntMul                // integer multiply
+	IntDiv                // integer divide
+	FpAdd                 // floating-point add/subtract
+	FpMul                 // floating-point multiply
+	FpDiv                 // floating-point divide
+	Load                  // memory read
+	Store                 // memory write
+	Branch                // control transfer (resolves on a base ALU)
+
+	NumOpClasses // not a valid class
+)
+
+var opClassNames = [NumOpClasses]string{
+	IntAlu: "IntAlu", IntMul: "IntMul", IntDiv: "IntDiv",
+	FpAdd: "FpAdd", FpMul: "FpMul", FpDiv: "FpDiv",
+	Load: "Load", Store: "Store", Branch: "Branch",
+}
+
+// String returns the canonical class name.
+func (c OpClass) String() string {
+	if c < NumOpClasses {
+		return opClassNames[c]
+	}
+	return fmt.Sprintf("OpClass(%d)", uint8(c))
+}
+
+// Valid reports whether c names a real op class.
+func (c OpClass) Valid() bool { return c < NumOpClasses }
+
+// IsMem reports whether the class accesses data memory.
+func (c OpClass) IsMem() bool { return c == Load || c == Store }
+
+// ExecEvent returns the stall-event kind whose latency governs the execute
+// stage of this class. Loads are special: their execute latency is decided
+// by the cache level that serves them, so they have no fixed execute event.
+func (c OpClass) ExecEvent() stacks.Event {
+	switch c {
+	case IntAlu, Branch:
+		return stacks.IntAlu
+	case IntMul:
+		return stacks.IntMul
+	case IntDiv:
+		return stacks.IntDiv
+	case FpAdd:
+		return stacks.FpAdd
+	case FpMul:
+		return stacks.FpMul
+	case FpDiv:
+		return stacks.FpDiv
+	case Store:
+		return stacks.Store
+	default:
+		panic(fmt.Sprintf("isa: no fixed execute event for %s", c))
+	}
+}
+
+// FUClass identifies a functional-unit pool (Table II of the paper).
+type FUClass uint8
+
+const (
+	FULoad    FUClass = iota // LD units
+	FUStore                  // ST units
+	FUFP                     // FP units
+	FUBaseALU                // base ALUs (simple integer ops and branches)
+	FULongALU                // long-latency integer units (mul/div)
+
+	NumFUClasses // not a valid class
+)
+
+var fuClassNames = [NumFUClasses]string{
+	FULoad: "LD", FUStore: "ST", FUFP: "FP", FUBaseALU: "BaseALU", FULongALU: "LongALU",
+}
+
+// String returns the Table II name of the functional-unit pool.
+func (f FUClass) String() string {
+	if f < NumFUClasses {
+		return fuClassNames[f]
+	}
+	return fmt.Sprintf("FUClass(%d)", uint8(f))
+}
+
+// FU returns the functional-unit pool the class executes on.
+func (c OpClass) FU() FUClass {
+	switch c {
+	case Load:
+		return FULoad
+	case Store:
+		return FUStore
+	case FpAdd, FpMul, FpDiv:
+		return FUFP
+	case IntMul, IntDiv:
+		return FULongALU
+	default:
+		return FUBaseALU
+	}
+}
+
+// Register file shape. Registers 0..NumIntRegs-1 are integer, the rest are
+// floating point. RegNone marks an absent operand.
+const (
+	NumIntRegs = 16
+	NumFPRegs  = 16
+	NumRegs    = NumIntRegs + NumFPRegs
+	RegNone    = -1
+)
+
+// MicroOp is one dynamic micro-op as produced by the workload front end and
+// consumed by the timing simulator.
+type MicroOp struct {
+	Seq      uint64  // dynamic micro-op sequence number, starting at 0
+	MacroSeq uint64  // dynamic macro-op (x86 instruction) number
+	SoM, EoM bool    // start / end of macro-op
+	Class    OpClass // functional class
+	PC       uint64  // byte address of the owning macro-op
+
+	// Architectural register operands; RegNone when absent. Renaming turns
+	// these into physical-register dataflow inside the simulator.
+	Dest, Src1, Src2 int
+
+	// Addr is the effective byte address for loads and stores.
+	Addr uint64
+
+	// Branch behaviour (Class == Branch only).
+	Taken  bool   // actual direction
+	Target uint64 // actual target PC
+}
+
+// Validate checks structural well-formedness of a micro-op.
+func (u *MicroOp) Validate() error {
+	if !u.Class.Valid() {
+		return fmt.Errorf("isa: µop %d has invalid class", u.Seq)
+	}
+	for _, r := range [...]int{u.Dest, u.Src1, u.Src2} {
+		if r != RegNone && (r < 0 || r >= NumRegs) {
+			return fmt.Errorf("isa: µop %d has out-of-range register %d", u.Seq, r)
+		}
+	}
+	if u.Class.IsMem() && u.Addr == 0 {
+		return fmt.Errorf("isa: memory µop %d has no address", u.Seq)
+	}
+	return nil
+}

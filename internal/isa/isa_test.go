@@ -1,0 +1,97 @@
+package isa
+
+import (
+	"testing"
+
+	"repro/internal/stacks"
+)
+
+func TestOpClassStringsAndValidity(t *testing.T) {
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		if !c.Valid() || c.String() == "" {
+			t.Fatalf("class %d invalid or unnamed", c)
+		}
+	}
+	if NumOpClasses.Valid() {
+		t.Fatal("NumOpClasses must be invalid")
+	}
+	if OpClass(99).String() == "" {
+		t.Fatal("out-of-range class must still render")
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() {
+		t.Fatal("loads and stores access memory")
+	}
+	for _, c := range []OpClass{IntAlu, IntMul, IntDiv, FpAdd, FpMul, FpDiv, Branch} {
+		if c.IsMem() {
+			t.Fatalf("%s is not a memory class", c)
+		}
+	}
+}
+
+func TestExecEventMapping(t *testing.T) {
+	want := map[OpClass]stacks.Event{
+		IntAlu: stacks.IntAlu, Branch: stacks.IntAlu,
+		IntMul: stacks.IntMul, IntDiv: stacks.IntDiv,
+		FpAdd: stacks.FpAdd, FpMul: stacks.FpMul, FpDiv: stacks.FpDiv,
+		Store: stacks.Store,
+	}
+	for c, e := range want {
+		if got := c.ExecEvent(); got != e {
+			t.Errorf("%s exec event = %s, want %s", c, got, e)
+		}
+	}
+}
+
+func TestExecEventPanicsForLoad(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Load.ExecEvent must panic: load latency is level-decided")
+		}
+	}()
+	Load.ExecEvent()
+}
+
+func TestFUMapping(t *testing.T) {
+	want := map[OpClass]FUClass{
+		Load: FULoad, Store: FUStore,
+		FpAdd: FUFP, FpMul: FUFP, FpDiv: FUFP,
+		IntMul: FULongALU, IntDiv: FULongALU,
+		IntAlu: FUBaseALU, Branch: FUBaseALU,
+	}
+	for c, f := range want {
+		if got := c.FU(); got != f {
+			t.Errorf("%s FU = %s, want %s", c, got, f)
+		}
+	}
+	if FULoad.String() != "LD" || FUFP.String() != "FP" {
+		t.Fatal("FU names must match Table II")
+	}
+}
+
+func TestMicroOpValidate(t *testing.T) {
+	ok := MicroOp{Class: IntAlu, Dest: 3, Src1: 1, Src2: RegNone}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid µop rejected: %v", err)
+	}
+	bad := ok
+	bad.Class = NumOpClasses
+	if bad.Validate() == nil {
+		t.Fatal("invalid class accepted")
+	}
+	bad = ok
+	bad.Src1 = NumRegs
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range register accepted")
+	}
+	mem := MicroOp{Class: Load, Dest: 2, Src1: 0, Src2: RegNone}
+	if mem.Validate() == nil {
+		t.Fatal("memory µop without address accepted")
+	}
+	mem.Addr = 0x1000
+	if err := mem.Validate(); err != nil {
+		t.Fatalf("valid load rejected: %v", err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package simpoint implements SimPoint-style workload sampling (the paper's
+// [1], used by RpStacks' sampling optimization, Section III-C): execution is
+// cut into fixed-length intervals, each summarized by its basic-block vector
+// (BBV), the vectors are clustered with k-means after a random projection,
+// and one representative interval per cluster — weighted by cluster
+// population — stands in for the whole run.
+package simpoint
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// Interval is one fixed-length slice of the dynamic µop stream with its
+// basic-block vector (normalized execution frequencies).
+type Interval struct {
+	Lo, Hi int // µop index range [Lo, Hi)
+	Vec    []float64
+}
+
+// CollectBBVs cuts the µop stream into intervals of intervalLen µops
+// (the last, shorter interval is dropped if under half length) and builds
+// each interval's normalized basic-block vector. blockOf maps a µop PC to
+// its static basic-block index in [0, nBlocks).
+func CollectBBVs(uops []isa.MicroOp, blockOf func(pc uint64) int, nBlocks, intervalLen int) ([]Interval, error) {
+	if intervalLen <= 0 {
+		return nil, fmt.Errorf("simpoint: interval length must be positive, got %d", intervalLen)
+	}
+	if nBlocks <= 0 {
+		return nil, fmt.Errorf("simpoint: need a positive block count, got %d", nBlocks)
+	}
+	var out []Interval
+	for lo := 0; lo < len(uops); lo += intervalLen {
+		hi := lo + intervalLen
+		if hi > len(uops) {
+			if len(uops)-lo < intervalLen/2 {
+				break
+			}
+			hi = len(uops)
+		}
+		vec := make([]float64, nBlocks)
+		for i := lo; i < hi; i++ {
+			b := blockOf(uops[i].PC)
+			if b < 0 || b >= nBlocks {
+				return nil, fmt.Errorf("simpoint: µop %d maps to block %d outside [0, %d)", i, b, nBlocks)
+			}
+			vec[b]++
+		}
+		n := float64(hi - lo)
+		for j := range vec {
+			vec[j] /= n
+		}
+		out = append(out, Interval{Lo: lo, Hi: hi, Vec: vec})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("simpoint: stream of %d µops yields no full interval of %d", len(uops), intervalLen)
+	}
+	return out, nil
+}
+
+// Project reduces vectors to dim dimensions with a deterministic random
+// ±1 projection, as the SimPoint tool does before clustering.
+func Project(vecs [][]float64, dim int, seed int64) [][]float64 {
+	if len(vecs) == 0 || dim <= 0 {
+		return nil
+	}
+	in := len(vecs[0])
+	rng := rand.New(rand.NewSource(seed))
+	proj := make([][]float64, in)
+	for i := range proj {
+		proj[i] = make([]float64, dim)
+		for j := range proj[i] {
+			if rng.Intn(2) == 0 {
+				proj[i][j] = 1
+			} else {
+				proj[i][j] = -1
+			}
+		}
+	}
+	out := make([][]float64, len(vecs))
+	for v, vec := range vecs {
+		o := make([]float64, dim)
+		for i, x := range vec {
+			if x == 0 {
+				continue
+			}
+			row := proj[i]
+			for j := range o {
+				o[j] += x * row[j]
+			}
+		}
+		out[v] = o
+	}
+	return out
+}
+
+// KMeans clusters the vectors into k groups with Lloyd's algorithm and
+// deterministic k-means++ style seeding. It returns the cluster assignment
+// per vector.
+func KMeans(vecs [][]float64, k int, seed int64, maxIter int) ([]int, error) {
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("simpoint: no vectors to cluster")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("simpoint: cluster count must be positive, got %d", k)
+	}
+	if k > len(vecs) {
+		k = len(vecs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	dist2 := func(a, b []float64) float64 {
+		var d float64
+		for i := range a {
+			x := a[i] - b[i]
+			d += x * x
+		}
+		return d
+	}
+
+	// k-means++ seeding.
+	centers := make([][]float64, 0, k)
+	centers = append(centers, append([]float64(nil), vecs[rng.Intn(len(vecs))]...))
+	d2 := make([]float64, len(vecs))
+	for len(centers) < k {
+		var sum float64
+		for i, v := range vecs {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := dist2(v, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		if sum == 0 {
+			// All remaining vectors coincide with a center.
+			centers = append(centers, append([]float64(nil), vecs[rng.Intn(len(vecs))]...))
+			continue
+		}
+		x := rng.Float64() * sum
+		idx := 0
+		for i, d := range d2 {
+			if x < d {
+				idx = i
+				break
+			}
+			x -= d
+		}
+		centers = append(centers, append([]float64(nil), vecs[idx]...))
+	}
+
+	assign := make([]int, len(vecs))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if d := dist2(v, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, len(centers))
+		for c := range centers {
+			for j := range centers[c] {
+				centers[c][j] = 0
+			}
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for j, x := range v {
+				centers[c][j] += x
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on a random vector.
+				copy(centers[c], vecs[rng.Intn(len(vecs))])
+				continue
+			}
+			for j := range centers[c] {
+				centers[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	return assign, nil
+}
+
+// Pick is one selected representative interval and its weight (the fraction
+// of intervals its cluster covers).
+type Pick struct {
+	Interval int // index into the CollectBBVs result
+	Weight   float64
+}
+
+// Choose runs the full SimPoint pipeline over the intervals: projection,
+// k-means, and per-cluster selection of the interval closest to its cluster
+// centroid. Weights sum to one.
+func Choose(intervals []Interval, k int, seed int64) ([]Pick, error) {
+	vecs := make([][]float64, len(intervals))
+	for i := range intervals {
+		vecs[i] = intervals[i].Vec
+	}
+	const projDim = 16
+	proj := Project(vecs, projDim, seed)
+	assign, err := KMeans(proj, k, seed+1, 50)
+	if err != nil {
+		return nil, err
+	}
+	nClusters := 0
+	for _, a := range assign {
+		if a+1 > nClusters {
+			nClusters = a + 1
+		}
+	}
+	// Cluster centroids in projected space.
+	centers := make([][]float64, nClusters)
+	counts := make([]int, nClusters)
+	for i := range centers {
+		centers[i] = make([]float64, projDim)
+	}
+	for i, a := range assign {
+		counts[a]++
+		for j, x := range proj[i] {
+			centers[a][j] += x
+		}
+	}
+	for c := range centers {
+		if counts[c] > 0 {
+			for j := range centers[c] {
+				centers[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	var picks []Pick
+	for c := range centers {
+		if counts[c] == 0 {
+			continue
+		}
+		best, bestD := -1, math.Inf(1)
+		for i, a := range assign {
+			if a != c {
+				continue
+			}
+			var d float64
+			for j := range proj[i] {
+				x := proj[i][j] - centers[c][j]
+				d += x * x
+			}
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		picks = append(picks, Pick{Interval: best, Weight: float64(counts[c]) / float64(len(intervals))})
+	}
+	return picks, nil
+}

@@ -1,0 +1,172 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestCollectBBVs(t *testing.T) {
+	p, _ := workload.ByName("401.bzip2")
+	gen := workload.NewGenerator(p, 5)
+	uops := gen.Take(50000)
+	ivs, err := CollectBBVs(uops, gen.BlockOf, gen.NumBlocks(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 10 {
+		t.Fatalf("expected 10 intervals, got %d", len(ivs))
+	}
+	for i, iv := range ivs {
+		if iv.Hi-iv.Lo != 5000 {
+			t.Fatalf("interval %d spans %d", i, iv.Hi-iv.Lo)
+		}
+		var sum float64
+		for _, x := range iv.Vec {
+			if x < 0 {
+				t.Fatalf("negative frequency in interval %d", i)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("interval %d vector sums to %g", i, sum)
+		}
+	}
+}
+
+func TestCollectBBVsErrors(t *testing.T) {
+	p, _ := workload.ByName("456.hmmer")
+	gen := workload.NewGenerator(p, 5)
+	uops := gen.Take(100)
+	if _, err := CollectBBVs(uops, gen.BlockOf, gen.NumBlocks(), 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := CollectBBVs(uops, gen.BlockOf, 0, 50); err == nil {
+		t.Fatal("zero block count accepted")
+	}
+	if _, err := CollectBBVs(uops, gen.BlockOf, gen.NumBlocks(), 1000); err == nil {
+		t.Fatal("stream shorter than one interval accepted")
+	}
+	bad := func(uint64) int { return -1 }
+	if _, err := CollectBBVs(uops, bad, 4, 50); err == nil {
+		t.Fatal("out-of-range block mapping accepted")
+	}
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	// Two tight, far-apart groups.
+	var vecs [][]float64
+	for i := 0; i < 10; i++ {
+		vecs = append(vecs, []float64{1 + 0.01*float64(i), 0})
+	}
+	for i := 0; i < 10; i++ {
+		vecs = append(vecs, []float64{0, 5 + 0.01*float64(i)})
+	}
+	assign, err := KMeans(vecs, 2, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 10; i++ {
+		if assign[i] != assign[0] {
+			t.Fatal("group one split")
+		}
+	}
+	for i := 11; i < 20; i++ {
+		if assign[i] != assign[10] {
+			t.Fatal("group two split")
+		}
+	}
+	if assign[0] == assign[10] {
+		t.Fatal("groups not separated")
+	}
+}
+
+func TestKMeansDeterministicAndBounded(t *testing.T) {
+	vecs := [][]float64{{1}, {2}, {3}, {100}}
+	a, err := KMeans(vecs, 2, 7, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := KMeans(vecs, 2, 7, 30)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("k-means not deterministic")
+		}
+	}
+	// k larger than the vector count must clamp, not fail.
+	if _, err := KMeans(vecs, 10, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := KMeans(nil, 2, 1, 10); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := KMeans(vecs, 0, 1, 10); err == nil {
+		t.Fatal("zero clusters accepted")
+	}
+}
+
+func TestProjectShapeAndDeterminism(t *testing.T) {
+	vecs := [][]float64{{1, 0, 2}, {0, 1, 0}}
+	a := Project(vecs, 4, 3)
+	b := Project(vecs, 4, 3)
+	if len(a) != 2 || len(a[0]) != 4 {
+		t.Fatalf("projection shape %dx%d", len(a), len(a[0]))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("projection not deterministic")
+			}
+		}
+	}
+	if Project(nil, 4, 3) != nil {
+		t.Fatal("empty projection must be nil")
+	}
+}
+
+func TestChooseWeightsSumToOne(t *testing.T) {
+	p, _ := workload.ByName("401.bzip2")
+	gen := workload.NewGenerator(p, 9)
+	uops := gen.Take(80000)
+	ivs, err := CollectBBVs(uops, gen.BlockOf, gen.NumBlocks(), 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks, err := Choose(ivs, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) == 0 || len(picks) > 3 {
+		t.Fatalf("got %d picks", len(picks))
+	}
+	var sum float64
+	for _, p := range picks {
+		if p.Interval < 0 || p.Interval >= len(ivs) {
+			t.Fatalf("pick %d out of range", p.Interval)
+		}
+		sum += p.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %g", sum)
+	}
+}
+
+// TestChooseFindsPhases: bzip2's two program phases should land in
+// different clusters.
+func TestChooseFindsPhases(t *testing.T) {
+	p, _ := workload.ByName("401.bzip2")
+	gen := workload.NewGenerator(p, 9)
+	uops := gen.Take(200000)
+	ivs, err := CollectBBVs(uops, gen.BlockOf, gen.NumBlocks(), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks, err := Choose(ivs, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) < 2 {
+		t.Fatalf("phased workload clustered into %d group(s)", len(picks))
+	}
+}

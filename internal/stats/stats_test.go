@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Mean(xs) != 2.8 {
+		t.Fatalf("Mean = %g", Mean(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatalf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty input must yield 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %g", g)
+	}
+	// Zeros are clamped to epsilon, not collapsing the mean to zero.
+	if g := GeoMean([]float64{0, 4}); g <= 0 {
+		t.Fatalf("GeoMean with zero = %g", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean must be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// The input slice is not reordered.
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if !sort.SliceIsSorted([]float64{in[0]}, func(i, j int) bool { return false }) && in[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+// TestBoxplotOrdering checks the five-number summary is always ordered.
+func TestBoxplotOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		b := Summarize(xs)
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbsPctErr(t *testing.T) {
+	if e := AbsPctErr(110, 100); math.Abs(e-10) > 1e-12 {
+		t.Fatalf("AbsPctErr = %g", e)
+	}
+	if e := AbsPctErr(90, 100); math.Abs(e-10) > 1e-12 {
+		t.Fatalf("AbsPctErr symmetric = %g", e)
+	}
+	if AbsPctErr(0, 0) != 0 {
+		t.Fatal("0/0 error must be 0")
+	}
+	if !math.IsInf(AbsPctErr(1, 0), 1) {
+		t.Fatal("x/0 error must be +Inf")
+	}
+}
+
+func TestBoxplotString(t *testing.T) {
+	b := Summarize([]float64{1, 2, 3})
+	if b.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

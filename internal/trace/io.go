@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Binary trace format: a magic header, the record count and cycle total,
+// then one varint-packed record per µop. Written by cmd/rptrace, readable by
+// any tool in the repository.
+const (
+	magic   = "RPTRC"
+	version = 1
+)
+
+// Write serializes the trace.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putI := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putU(version); err != nil {
+		return err
+	}
+	if err := putU(uint64(len(t.Records))); err != nil {
+		return err
+	}
+	if err := putI(t.Cycles); err != nil {
+		return err
+	}
+	if err := putU(t.Mispredicts); err != nil {
+		return err
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
+		flags := uint64(0)
+		setBit := func(bit uint, on bool) {
+			if on {
+				flags |= 1 << bit
+			}
+		}
+		setBit(0, r.SoM)
+		setBit(1, r.EoM)
+		setBit(2, r.NewFetchLine)
+		setBit(3, r.ITLBMiss)
+		setBit(4, r.DTLBMiss)
+		setBit(5, r.Mispredicted)
+		flags |= uint64(r.Class) << 8
+		flags |= uint64(r.FetchLevel) << 16
+		flags |= uint64(r.DataLevel) << 20
+		for _, u := range [...]uint64{r.Seq, r.MacroSeq, flags, r.PC, r.Addr} {
+			if err := putU(u); err != nil {
+				return err
+			}
+		}
+		for _, v := range [...]int64{r.SrcDep1, r.SrcDep2, r.AddrDep, r.ShareWith, r.IQFreeBy, r.RegFreeBy, r.MSHRFreeBy, r.FUFreeBy} {
+			if err := putI(v); err != nil {
+				return err
+			}
+		}
+		for _, ts := range r.T {
+			if err := putI(ts); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getI := func() (int64, error) { return binary.ReadVarint(br) }
+
+	ver, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	n, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	const maxRecords = 1 << 31
+	if n > maxRecords {
+		return nil, fmt.Errorf("trace: record count %d exceeds limit", n)
+	}
+	t := &Trace{Records: make([]Record, n)}
+	if t.Cycles, err = getI(); err != nil {
+		return nil, err
+	}
+	if t.Mispredicts, err = getU(); err != nil {
+		return nil, err
+	}
+	for i := range t.Records {
+		rec := &t.Records[i]
+		var vals [5]uint64
+		for j := range vals {
+			if vals[j], err = getU(); err != nil {
+				return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+		}
+		rec.Seq, rec.MacroSeq, rec.PC, rec.Addr = vals[0], vals[1], vals[3], vals[4]
+		flags := vals[2]
+		rec.SoM = flags&(1<<0) != 0
+		rec.EoM = flags&(1<<1) != 0
+		rec.NewFetchLine = flags&(1<<2) != 0
+		rec.ITLBMiss = flags&(1<<3) != 0
+		rec.DTLBMiss = flags&(1<<4) != 0
+		rec.Mispredicted = flags&(1<<5) != 0
+		rec.Class = isa.OpClass(flags >> 8 & 0xff)
+		rec.FetchLevel = mem.Level(flags >> 16 & 0xf)
+		rec.DataLevel = mem.Level(flags >> 20 & 0xf)
+		for _, p := range [...]*int64{&rec.SrcDep1, &rec.SrcDep2, &rec.AddrDep,
+			&rec.ShareWith, &rec.IQFreeBy, &rec.RegFreeBy, &rec.MSHRFreeBy, &rec.FUFreeBy} {
+			if *p, err = getI(); err != nil {
+				return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+		}
+		for j := range rec.T {
+			if rec.T[j], err = getI(); err != nil {
+				return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+		}
+	}
+	return t, nil
+}

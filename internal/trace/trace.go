@@ -1,0 +1,163 @@
+// Package trace defines the dynamic trace the timing simulator emits and the
+// dependence-graph builder consumes: per-µop macro-op boundaries, data
+// dependencies, pipeline timings and penalty-event outcomes (paper Section
+// IV-B). Outcomes (which level served an access, whether a branch
+// mispredicted, which µop freed a contended resource) are recorded instead of
+// cycle costs so the graph can be re-weighted under any latency
+// configuration.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Stage indexes the timestamp vector of a record.
+type Stage uint8
+
+const (
+	SFetch    Stage = iota // fetch issued for the µop's line
+	SRename                // renamed, ROB entry allocated
+	SDispatch              // issue-queue entry allocated
+	SReady                 // all operands ready
+	SIssue                 // selected for execution
+	SComplete              // execution finished, result available
+	SCommit                // retired
+
+	NumStages // not a valid stage
+)
+
+var stageNames = [NumStages]string{
+	SFetch: "fetch", SRename: "rename", SDispatch: "dispatch", SReady: "ready",
+	SIssue: "issue", SComplete: "complete", SCommit: "commit",
+}
+
+// String returns the stage name.
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("Stage(%d)", uint8(s))
+}
+
+// None marks an absent µop reference in dependency fields.
+const None int64 = -1
+
+// Record is the dynamic trace entry of one committed µop.
+type Record struct {
+	Seq      uint64
+	MacroSeq uint64
+	SoM, EoM bool
+	Class    isa.OpClass
+	PC, Addr uint64
+
+	// Producer µop sequence numbers (None when absent): register sources
+	// consumed at execute, and the producer of the address base for memory
+	// ops (consumed at address generation).
+	SrcDep1, SrcDep2 int64
+	AddrDep          int64
+
+	// Front-end outcomes. NewFetchLine marks the µop that initiated its
+	// instruction-cache line access; followers on the same line inherit the
+	// line for free.
+	NewFetchLine bool
+	FetchLevel   mem.Level
+	ITLBMiss     bool
+
+	// Data-side outcomes (loads and stores).
+	DataLevel mem.Level
+	DTLBMiss  bool
+	// ShareWith names an earlier load whose in-flight line fill served this
+	// load (MSHR merge); None when the access went to the hierarchy itself.
+	ShareWith int64
+
+	// Mispredicted marks a branch µop that redirected the front end.
+	Mispredicted bool
+
+	// Resource-provider edges: the µop whose issue freed the issue-queue
+	// entry this µop waited for, the µop whose commit released the physical
+	// register this µop allocated, and the load whose completing line fill
+	// freed the MSHR this load waited for. None when the resource was free.
+	IQFreeBy   int64
+	RegFreeBy  int64
+	MSHRFreeBy int64
+	// FUFreeBy names the divide µop whose completion freed the unpipelined
+	// divider this divide waited for. None when a unit was free.
+	FUFreeBy int64
+
+	// T holds the cycle of each pipeline milestone.
+	T [NumStages]int64
+}
+
+// Validate checks internal consistency of a record: monotone timestamps and
+// well-formed references.
+func (r *Record) Validate() error {
+	order := [...]Stage{SFetch, SRename, SDispatch, SReady, SIssue, SComplete, SCommit}
+	for i := 1; i < len(order); i++ {
+		if r.T[order[i]] < r.T[order[i-1]] {
+			return fmt.Errorf("trace: µop %d: %s (%d) precedes %s (%d)",
+				r.Seq, order[i], r.T[order[i]], order[i-1], r.T[order[i-1]])
+		}
+	}
+	for _, d := range [...]int64{r.SrcDep1, r.SrcDep2, r.AddrDep, r.ShareWith, r.IQFreeBy, r.RegFreeBy, r.MSHRFreeBy, r.FUFreeBy} {
+		if d != None && (d < 0 || uint64(d) >= r.Seq) {
+			return fmt.Errorf("trace: µop %d references non-earlier µop %d", r.Seq, d)
+		}
+	}
+	return nil
+}
+
+// Trace is a complete dynamic trace plus whole-run outcomes.
+type Trace struct {
+	Records []Record
+	// Cycles is the simulated cycle count of the traced region (commit time
+	// of the last µop).
+	Cycles int64
+	// Mispredicts, ILineFetches etc. summarize the run for reporting.
+	Mispredicts uint64
+}
+
+// MicroOps returns the number of traced µops.
+func (t *Trace) MicroOps() int { return len(t.Records) }
+
+// MacroOps returns the number of complete macro-ops in the trace.
+func (t *Trace) MacroOps() int {
+	n := 0
+	for i := range t.Records {
+		if t.Records[i].EoM {
+			n++
+		}
+	}
+	return n
+}
+
+// CPI returns cycles per µop for the traced region.
+func (t *Trace) CPI() float64 {
+	if len(t.Records) == 0 {
+		return 0
+	}
+	return float64(t.Cycles) / float64(len(t.Records))
+}
+
+// Validate checks every record and cross-record invariants (sequence
+// numbering, in-order commit).
+func (t *Trace) Validate() error {
+	var lastCommit int64
+	for i := range t.Records {
+		r := &t.Records[i]
+		if r.Seq != uint64(i) {
+			return fmt.Errorf("trace: record %d has sequence %d", i, r.Seq)
+		}
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if r.T[SCommit] < lastCommit {
+			return fmt.Errorf("trace: µop %d commits at %d before predecessor at %d",
+				r.Seq, r.T[SCommit], lastCommit)
+		}
+		lastCommit = r.T[SCommit]
+	}
+	return nil
+}

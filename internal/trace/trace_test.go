@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func validRecord(seq uint64) Record {
+	r := Record{
+		Seq: seq, MacroSeq: seq, SoM: true, EoM: true,
+		Class: isa.IntAlu, PC: 0x400000 + seq*16,
+		SrcDep1: None, SrcDep2: None, AddrDep: None,
+		ShareWith: None, IQFreeBy: None, RegFreeBy: None,
+		MSHRFreeBy: None, FUFreeBy: None,
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		r.T[s] = int64(seq + uint64(s))
+	}
+	return r
+}
+
+func TestRecordValidate(t *testing.T) {
+	r := validRecord(3)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	bad := r
+	bad.T[SCommit] = bad.T[SFetch] - 1
+	if bad.Validate() == nil {
+		t.Fatal("non-monotone timestamps accepted")
+	}
+	bad = r
+	bad.SrcDep1 = 3 // self-reference
+	if bad.Validate() == nil {
+		t.Fatal("self dependency accepted")
+	}
+	bad = r
+	bad.FUFreeBy = 9 // forward reference
+	if bad.Validate() == nil {
+		t.Fatal("forward dependency accepted")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	tr := &Trace{Records: []Record{validRecord(0), validRecord(1)}, Cycles: 8}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	tr.Records[1].Seq = 5
+	if tr.Validate() == nil {
+		t.Fatal("bad sequence numbering accepted")
+	}
+	tr.Records[1] = validRecord(1)
+	tr.Records[1].T[SCommit] = tr.Records[0].T[SCommit] - 1
+	if tr.Validate() == nil {
+		t.Fatal("out-of-order commit accepted")
+	}
+}
+
+func TestTraceCounts(t *testing.T) {
+	r0 := validRecord(0)
+	r0.EoM = false
+	r1 := validRecord(1)
+	r1.SoM = false
+	tr := &Trace{Records: []Record{r0, r1}, Cycles: 10}
+	if tr.MicroOps() != 2 || tr.MacroOps() != 1 {
+		t.Fatalf("µ/macro = %d/%d", tr.MicroOps(), tr.MacroOps())
+	}
+	if tr.CPI() != 5 {
+		t.Fatalf("CPI = %g", tr.CPI())
+	}
+}
+
+func randRecord(rng *rand.Rand, seq uint64) Record {
+	r := validRecord(seq)
+	r.Class = isa.OpClass(rng.Intn(int(isa.NumOpClasses)))
+	r.PC = rng.Uint64() >> 8
+	r.Addr = rng.Uint64() >> 8
+	r.SoM = rng.Intn(2) == 0
+	r.EoM = rng.Intn(2) == 0
+	r.NewFetchLine = rng.Intn(2) == 0
+	r.ITLBMiss = rng.Intn(8) == 0
+	r.DTLBMiss = rng.Intn(8) == 0
+	r.Mispredicted = rng.Intn(8) == 0
+	r.FetchLevel = mem.Level(rng.Intn(3))
+	r.DataLevel = mem.Level(rng.Intn(3))
+	if seq > 0 {
+		pick := func() int64 {
+			if rng.Intn(2) == 0 {
+				return None
+			}
+			return int64(rng.Intn(int(seq)))
+		}
+		r.SrcDep1, r.SrcDep2, r.AddrDep = pick(), pick(), pick()
+		r.ShareWith, r.IQFreeBy, r.RegFreeBy = pick(), pick(), pick()
+		r.MSHRFreeBy, r.FUFreeBy = pick(), pick()
+	}
+	base := int64(seq)
+	for s := Stage(0); s < NumStages; s++ {
+		base += int64(rng.Intn(20))
+		r.T[s] = base
+	}
+	return r
+}
+
+func TestIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := &Trace{Cycles: 123456, Mispredicts: 42}
+	for i := 0; i < 500; i++ {
+		tr.Records = append(tr.Records, randRecord(rng, uint64(i)))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != tr.Cycles || got.Mispredicts != tr.Mispredicts {
+		t.Fatal("header fields lost")
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("record count %d != %d", len(got.Records), len(tr.Records))
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOTRC....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	tr := &Trace{Records: []Record{validRecord(0)}}
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if SFetch.String() != "fetch" || SCommit.String() != "commit" {
+		t.Fatal("stage names wrong")
+	}
+	if Stage(99).String() == "" {
+		t.Fatal("out-of-range stage must render")
+	}
+}

@@ -1,0 +1,232 @@
+// Package workload generates deterministic synthetic µop streams that stand
+// in for the paper's SPEC CPU 2006 binaries. Each profile reproduces the
+// *characteristics* the RpStacks methodology is sensitive to — instruction
+// mix, working-set sizes (which levels serve the loads), dependency-chain
+// shape (how much latency overlaps), branch predictability, static code
+// footprint and phase structure — rather than the literal programs. The
+// generated program is a set of static basic blocks connected by a Markov
+// chain of branches, so I-caches, branch predictors and SimPoint's
+// basic-block vectors all see realistic repeated structure.
+package workload
+
+// MixSpec gives the macro-op category mix of a phase. The fields are
+// weights; they are normalized internally and need not sum to one.
+type MixSpec struct {
+	IntAlu, IntMul, IntDiv float64
+	FpAdd, FpMul, FpDiv    float64
+	Load, Store, Branch    float64
+}
+
+// LocalitySpec distributes data accesses over address regions with different
+// residency: L1-resident, L2-resident and memory-resident strided streams,
+// plus a pointer-chasing region that defeats spatial locality.
+type LocalitySpec struct {
+	L1, L2, Mem, Chase float64 // weights over the four region kinds
+	ChaseBytes         int     // pointer-chase region size (bytes)
+}
+
+// PhaseSpec describes one program phase: the block subset it executes, its
+// mix and locality. Phases give SimPoint's clustering something to find.
+type PhaseSpec struct {
+	Mix      MixSpec
+	Locality LocalitySpec
+	// MacroOps is the phase length in macro-ops before the program moves to
+	// the next phase (cyclically).
+	MacroOps int
+}
+
+// Profile is a complete synthetic benchmark description.
+type Profile struct {
+	Name string
+	// Static code shape: Blocks basic blocks of BlockLen macro-ops each.
+	// Large footprints produce instruction-cache misses.
+	Blocks, BlockLen int
+	// ChainBias is the probability that a µop's first source is the
+	// previous µop's destination, forming serial dependency chains; the
+	// complement draws sources from older results (more ILP).
+	ChainBias float64
+	// BiasedBranches is the fraction of static branches with a strongly
+	// biased (predictable) direction; the rest flip near-randomly and
+	// produce mispredictions.
+	BiasedBranches float64
+	// LoadOpFuse is the probability that a load macro-op also carries a
+	// dependent compute µop (x86 load-op form).
+	LoadOpFuse float64
+	// IndexedAddr is the probability that a strided load's address depends
+	// on a recently computed integer value (indexed addressing), putting
+	// the load's access latency onto the dependency chain rather than in
+	// its shadow.
+	IndexedAddr float64
+	// Phases of the program, cycled in order. At least one.
+	Phases []PhaseSpec
+}
+
+// Region sizes for the strided streams, chosen against the Table II
+// hierarchy (48KB L1, 4MB L2) and sized so that residency classes reach
+// steady state within warmup at the trace lengths this repository uses:
+// the L1 region stays cache-resident, the L2 region wraps quickly enough to
+// hit in L2 after its first pass, and the memory region never fits.
+const (
+	l1RegionBytes  = 12 << 10
+	l2RegionBytes  = 96 << 10
+	memRegionBytes = 64 << 20
+)
+
+// phase builds a single-phase list, the common case.
+func phase(mix MixSpec, loc LocalitySpec) []PhaseSpec {
+	return []PhaseSpec{{Mix: mix, Locality: loc, MacroOps: 1 << 30}}
+}
+
+// Profiles returns the synthetic SPEC CPU 2006 stand-in suite in benchmark
+// number order. The tuning targets the qualitative bottleneck map of the
+// paper's Figure 12: e.g. 416.gamess is FP-heavy with L1D/Fadd/Fmul
+// bottlenecks, 429.mcf is memory-bound pointer chasing, 458.sjeng is
+// branchy integer code.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "400.perlbench", Blocks: 420, BlockLen: 12,
+			ChainBias: 0.35, BiasedBranches: 0.80, LoadOpFuse: 0.5, IndexedAddr: 0.35,
+			Phases: phase(
+				MixSpec{IntAlu: 44, IntMul: 1, Load: 26, Store: 12, Branch: 17},
+				LocalitySpec{L1: 70, L2: 22, Mem: 3, Chase: 5, ChaseBytes: 8 << 20}),
+		},
+		{
+			Name: "401.bzip2", Blocks: 90, BlockLen: 14,
+			ChainBias: 0.40, BiasedBranches: 0.72, LoadOpFuse: 0.5, IndexedAddr: 0.4,
+			Phases: []PhaseSpec{
+				{Mix: MixSpec{IntAlu: 46, Load: 28, Store: 14, Branch: 12},
+					Locality: LocalitySpec{L1: 55, L2: 38, Mem: 7, Chase: 0},
+					MacroOps: 60000},
+				{Mix: MixSpec{IntAlu: 50, Load: 24, Store: 14, Branch: 12},
+					Locality: LocalitySpec{L1: 80, L2: 18, Mem: 2, Chase: 0},
+					MacroOps: 40000},
+			},
+		},
+		{
+			Name: "403.gcc", Blocks: 900, BlockLen: 9,
+			ChainBias: 0.35, BiasedBranches: 0.75, LoadOpFuse: 0.45, IndexedAddr: 0.35,
+			Phases: phase(
+				MixSpec{IntAlu: 42, IntMul: 1, Load: 26, Store: 12, Branch: 19},
+				LocalitySpec{L1: 60, L2: 28, Mem: 6, Chase: 6, ChaseBytes: 16 << 20}),
+		},
+		{
+			Name: "410.bwaves", Blocks: 40, BlockLen: 24,
+			ChainBias: 0.30, BiasedBranches: 0.97, LoadOpFuse: 0.6, IndexedAddr: 0.35,
+			Phases: phase(
+				MixSpec{IntAlu: 12, FpAdd: 24, FpMul: 22, FpDiv: 1, Load: 28, Store: 9, Branch: 4},
+				LocalitySpec{L1: 35, L2: 35, Mem: 30, Chase: 0}),
+		},
+		{
+			Name: "416.gamess", Blocks: 120, BlockLen: 20,
+			ChainBias: 0.45, BiasedBranches: 0.95, LoadOpFuse: 0.6, IndexedAddr: 0.55,
+			Phases: phase(
+				MixSpec{IntAlu: 14, FpAdd: 23, FpMul: 20, FpDiv: 2, Load: 30, Store: 7, Branch: 4},
+				LocalitySpec{L1: 90, L2: 9, Mem: 1, Chase: 0}),
+		},
+		{
+			Name: "429.mcf", Blocks: 60, BlockLen: 8,
+			ChainBias: 0.55, BiasedBranches: 0.70, LoadOpFuse: 0.4, IndexedAddr: 0.3,
+			Phases: phase(
+				MixSpec{IntAlu: 34, Load: 36, Store: 10, Branch: 20},
+				LocalitySpec{L1: 30, L2: 15, Mem: 10, Chase: 45, ChaseBytes: 64 << 20}),
+		},
+		{
+			Name: "433.milc", Blocks: 50, BlockLen: 22,
+			ChainBias: 0.35, BiasedBranches: 0.96, LoadOpFuse: 0.55, IndexedAddr: 0.35,
+			Phases: phase(
+				MixSpec{IntAlu: 12, FpAdd: 22, FpMul: 24, Load: 30, Store: 9, Branch: 3},
+				LocalitySpec{L1: 30, L2: 30, Mem: 40, Chase: 0}),
+		},
+		{
+			Name: "437.leslie3d", Blocks: 70, BlockLen: 26,
+			ChainBias: 0.50, BiasedBranches: 0.96, LoadOpFuse: 0.6, IndexedAddr: 0.5,
+			Phases: phase(
+				MixSpec{IntAlu: 12, FpAdd: 20, FpMul: 26, FpDiv: 2, Load: 28, Store: 8, Branch: 4},
+				LocalitySpec{L1: 55, L2: 30, Mem: 15, Chase: 0}),
+		},
+		{
+			Name: "444.namd", Blocks: 80, BlockLen: 24,
+			ChainBias: 0.40, BiasedBranches: 0.95, LoadOpFuse: 0.6, IndexedAddr: 0.5,
+			Phases: phase(
+				MixSpec{IntAlu: 16, FpAdd: 24, FpMul: 22, FpDiv: 1, Load: 26, Store: 7, Branch: 4},
+				LocalitySpec{L1: 85, L2: 13, Mem: 2, Chase: 0}),
+		},
+		{
+			Name: "450.soplex", Blocks: 160, BlockLen: 12,
+			ChainBias: 0.40, BiasedBranches: 0.85, LoadOpFuse: 0.5, IndexedAddr: 0.4,
+			Phases: phase(
+				MixSpec{IntAlu: 20, FpAdd: 16, FpMul: 14, FpDiv: 2, Load: 30, Store: 8, Branch: 10},
+				LocalitySpec{L1: 40, L2: 35, Mem: 25, Chase: 0}),
+		},
+		{
+			Name: "453.povray", Blocks: 260, BlockLen: 14,
+			ChainBias: 0.45, BiasedBranches: 0.85, LoadOpFuse: 0.55, IndexedAddr: 0.45,
+			Phases: phase(
+				MixSpec{IntAlu: 22, FpAdd: 17, FpMul: 17, FpDiv: 1.5, Load: 26, Store: 6, Branch: 10},
+				LocalitySpec{L1: 88, L2: 10, Mem: 2, Chase: 0}),
+		},
+		{
+			Name: "456.hmmer", Blocks: 30, BlockLen: 18,
+			ChainBias: 0.30, BiasedBranches: 0.92, LoadOpFuse: 0.6, IndexedAddr: 0.5,
+			Phases: phase(
+				MixSpec{IntAlu: 48, IntMul: 2, Load: 30, Store: 12, Branch: 8},
+				LocalitySpec{L1: 85, L2: 14, Mem: 1, Chase: 0}),
+		},
+		{
+			Name: "458.sjeng", Blocks: 300, BlockLen: 9,
+			ChainBias: 0.40, BiasedBranches: 0.55, LoadOpFuse: 0.45, IndexedAddr: 0.35,
+			Phases: phase(
+				MixSpec{IntAlu: 42, IntMul: 2, IntDiv: 1, Load: 24, Store: 9, Branch: 22},
+				LocalitySpec{L1: 70, L2: 25, Mem: 5, Chase: 0}),
+		},
+		{
+			Name: "462.libquantum", Blocks: 16, BlockLen: 12,
+			ChainBias: 0.25, BiasedBranches: 0.98, LoadOpFuse: 0.5, IndexedAddr: 0.15,
+			Phases: phase(
+				MixSpec{IntAlu: 40, Load: 30, Store: 16, Branch: 14},
+				LocalitySpec{L1: 10, L2: 15, Mem: 75, Chase: 0}),
+		},
+		{
+			Name: "470.lbm", Blocks: 24, BlockLen: 28,
+			ChainBias: 0.30, BiasedBranches: 0.98, LoadOpFuse: 0.6, IndexedAddr: 0.2,
+			Phases: phase(
+				MixSpec{IntAlu: 10, FpAdd: 22, FpMul: 20, Load: 30, Store: 15, Branch: 3},
+				LocalitySpec{L1: 20, L2: 20, Mem: 60, Chase: 0}),
+		},
+		{
+			Name: "471.omnetpp", Blocks: 380, BlockLen: 10,
+			ChainBias: 0.50, BiasedBranches: 0.72, LoadOpFuse: 0.45, IndexedAddr: 0.3,
+			Phases: phase(
+				MixSpec{IntAlu: 36, Load: 30, Store: 12, Branch: 22},
+				LocalitySpec{L1: 40, L2: 25, Mem: 5, Chase: 30, ChaseBytes: 32 << 20}),
+		},
+		{
+			Name: "483.xalancbmk", Blocks: 700, BlockLen: 8,
+			ChainBias: 0.40, BiasedBranches: 0.78, LoadOpFuse: 0.45, IndexedAddr: 0.35,
+			Phases: phase(
+				MixSpec{IntAlu: 38, Load: 30, Store: 10, Branch: 22},
+				LocalitySpec{L1: 55, L2: 30, Mem: 5, Chase: 10, ChaseBytes: 16 << 20}),
+		},
+	}
+}
+
+// ByName returns the named profile from the suite.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns the suite's benchmark names in order.
+func Names() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
