@@ -10,6 +10,7 @@ package repro
 // One figure:      go test -bench=BenchmarkFig11b -benchmem
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -379,4 +380,76 @@ func BenchmarkExploreRpStacks1000(b *testing.B) {
 		dse.ExploreRpStacks(a.Analysis, points)
 	}
 	b.ReportMetric(float64(len(points)), "points")
+}
+
+// --- Serial vs sharded sweep pairs --------------------------------------
+//
+// Each pair runs the identical sweep serially and sharded over
+// GOMAXPROCS workers; on a multicore host the parallel member's ns/op
+// should beat its serial sibling roughly by the worker count (compare with
+// `go test -bench='ExploreGraph(Serial|Parallel)' -benchmem`). The graph
+// pair also demonstrates the Evaluator reuse: allocations stay O(workers)
+// per sweep instead of one O(nodes) distance buffer per design point.
+
+// benchSweepSpace is the point list the sweep pairs walk.
+func benchSweepSpace(base stacks.Latencies) []stacks.Latencies {
+	sp := dse.Space{Axes: []dse.Axis{
+		{Event: stacks.L1D, Values: []float64{1, 2, 3, 4}},
+		{Event: stacks.L2D, Values: []float64{6, 12, 18}},
+		{Event: stacks.FpAdd, Values: []float64{2, 4, 6}},
+		{Event: stacks.MemD, Values: []float64{66, 133}},
+	}}
+	return sp.Enumerate(base)
+}
+
+func benchExploreGraph(b *testing.B, workers int) {
+	r := benchRunner()
+	a, err := r.App("416.gamess")
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := benchSweepSpace(r.Cfg.Lat)
+	opts := dse.ExploreOptions{Parallelism: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dse.ExploreGraphOpts(a.Graph, points, opts)
+	}
+	b.ReportMetric(float64(len(points)), "points")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkExploreGraphSerial is the one-worker graph-reconstruction sweep.
+func BenchmarkExploreGraphSerial(b *testing.B) { benchExploreGraph(b, 1) }
+
+// BenchmarkExploreGraphParallel is the same sweep sharded over GOMAXPROCS
+// workers, one reusable evaluator each.
+func BenchmarkExploreGraphParallel(b *testing.B) {
+	benchExploreGraph(b, runtime.GOMAXPROCS(0))
+}
+
+func benchExploreRpStacksSweep(b *testing.B, workers int) {
+	r := benchRunner()
+	a, err := r.App("416.gamess")
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := benchSweepSpace(r.Cfg.Lat)
+	opts := dse.ExploreOptions{Parallelism: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dse.ExploreRpStacksOpts(a.Analysis, points, opts)
+	}
+	b.ReportMetric(float64(len(points)), "points")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkExploreRpStacksSerial is the one-worker RpStacks sweep.
+func BenchmarkExploreRpStacksSerial(b *testing.B) { benchExploreRpStacksSweep(b, 1) }
+
+// BenchmarkExploreRpStacksParallel shards the RpStacks sweep over GOMAXPROCS
+// workers sharing the read-only analysis.
+func BenchmarkExploreRpStacksParallel(b *testing.B) {
+	benchExploreRpStacksSweep(b, runtime.GOMAXPROCS(0))
 }

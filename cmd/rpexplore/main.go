@@ -5,13 +5,15 @@
 // Usage:
 //
 //	rpexplore -app 416.gamess -axis L1D=1,2,3,4 -axis FpAdd=2,4,6 \
-//	          [-method rpstacks|graph|sim] [-target 0.55] [-top 10] [-n 60000]
+//	          [-method rpstacks|graph|sim] [-target 0.55] [-top 10] [-n 60000] \
+//	          [-parallelism 8] [-chunk 64]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -55,16 +57,18 @@ func main() {
 	target := flag.Float64("target", 0, "CPI target (0: report the best points)")
 	top := flag.Int("top", 10, "points to print")
 	n := flag.Int("n", 60000, "measured µops")
+	par := flag.Int("parallelism", runtime.GOMAXPROCS(0), "sweep workers (1: serial)")
+	chunk := flag.Int("chunk", 0, "design points per work unit (0: automatic)")
 	flag.Var(&axes, "axis", "latency axis, e.g. L1D=1,2,3,4 (repeatable)")
 	flag.Parse()
 
-	if err := run(*app, axes, *method, *target, *top, *n); err != nil {
+	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk); err != nil {
 		fmt.Fprintln(os.Stderr, "rpexplore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, axes axisFlags, method string, target float64, top, n int) error {
+func run(app string, axes axisFlags, method string, target float64, top, n, par, chunk int) error {
 	if len(axes) == 0 {
 		axes = axisFlags{
 			{Event: stacks.L1D, Values: []float64{1, 2, 3, 4}},
@@ -82,24 +86,33 @@ func run(app string, axes axisFlags, method string, target float64, top, n int) 
 		return err
 	}
 	points := sp.Enumerate(r.Cfg.Lat)
-	fmt.Printf("%s: exploring %d latency points with %s\n", app, len(points), method)
+	opts := dse.ExploreOptions{Parallelism: par, ChunkSize: chunk, Setup: a.SimTime + a.AnalyzeTime}
+	workers := max(par, 1)
+	if workers > len(points) {
+		workers = len(points) // the sweep never runs more workers than points
+	}
+	noun := "workers"
+	if workers == 1 {
+		noun = "worker"
+	}
+	fmt.Printf("%s: exploring %d latency points with %s (%d %s)\n",
+		app, len(points), method, workers, noun)
 
-	start := time.Now()
 	var rep *dse.Report
 	switch method {
 	case "rpstacks":
-		rep = dse.ExploreRpStacks(a.Analysis, points)
+		rep = dse.ExploreRpStacksOpts(a.Analysis, points, opts)
 	case "graph":
-		rep = dse.ExploreGraph(a.Graph, points)
+		rep = dse.ExploreGraphOpts(a.Graph, points, opts)
 	case "sim":
-		rep, err = dse.ExploreSim(r.Cfg, a.UOps, points)
+		rep, err = dse.ExploreSimOpts(r.Cfg, a.UOps, points, opts)
 		if err != nil {
 			return err
 		}
 	default:
 		return fmt.Errorf("unknown method %q", method)
 	}
-	elapsed := time.Since(start)
+	elapsed := rep.Wall
 
 	uops := float64(len(a.Trace.Records))
 	results := rep.Results
@@ -111,6 +124,17 @@ func run(app string, axes axisFlags, method string, target float64, top, n int) 
 	}
 	if top > len(results) {
 		top = len(results)
+	}
+	if len(rep.Workers) > 1 {
+		var busiest time.Duration
+		for _, wt := range rep.Workers {
+			if wt.Busy > busiest {
+				busiest = wt.Busy
+			}
+		}
+		fmt.Printf("sweep: %v wall over %d workers (busiest %v, per-point %v)\n",
+			elapsed.Round(time.Microsecond), len(rep.Workers),
+			busiest.Round(time.Microsecond), rep.PerPoint)
 	}
 	fmt.Printf("\nbest %d points (of %d, explored in %v):\n", top, len(results), elapsed.Round(time.Millisecond))
 	for _, res := range results[:top] {

@@ -205,6 +205,10 @@ func AnalyzeGraph(g *depgraph.Graph, baseline *stacks.Latencies, opts Options) [
 // assignment: per segment, the longest representative stack wins; segment
 // winners add up (the paper's segment-stack summation). The cost is
 // O(segments · stacks · events), independent of trace length and simulator.
+//
+// Predict only reads the analysis, so any number of goroutines may call it
+// concurrently on a shared Analysis — parallel design-space sweeps
+// (dse.ExploreRpStacksOpts) rely on this.
 func (a *Analysis) Predict(l *stacks.Latencies) float64 {
 	var total float64
 	for i := range a.Segments {

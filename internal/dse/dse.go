@@ -86,13 +86,32 @@ type Result struct {
 	Cycles float64
 }
 
+// WorkerTiming is one sweep worker's share of the per-point loop.
+type WorkerTiming struct {
+	Worker int
+	Points int
+	Busy   time.Duration
+}
+
 // Report carries the results of one exploration plus its wall-clock cost
 // split into one-time setup and the per-point loop.
 type Report struct {
-	Method   string
-	Results  []Result
-	Setup    time.Duration
+	Method  string
+	Results []Result
+	// Setup is the one-time cost of preparing the engine (simulate, analyze,
+	// build the graph), recorded by the Explore* constructors from
+	// ExploreOptions.Setup. It is what Total and Crossover amortize.
+	Setup time.Duration
+	// PerPoint is the effective per-design-point cost: sweep wall-clock
+	// divided by the point count. Under a parallel sweep it already reflects
+	// the worker speedup, so Total, Crossover and the Figure 2b/13 series
+	// stay meaningful.
 	PerPoint time.Duration
+	// Wall is the aggregate wall-clock of the whole per-point loop.
+	Wall time.Duration
+	// Workers holds per-worker busy time and point counts (one entry per
+	// worker that ran; a serial sweep has exactly one).
+	Workers []WorkerTiming
 }
 
 // Total returns the wall-clock cost of exploring n points with this
@@ -101,60 +120,108 @@ func (r *Report) Total(n int) time.Duration {
 	return r.Setup + time.Duration(n)*r.PerPoint
 }
 
+// finish stamps the loop timing fields of a completed sweep.
+func (r *Report) finish(wall time.Duration, workers []WorkerTiming) {
+	r.Wall = wall
+	r.Workers = workers
+	if n := len(r.Results); n > 0 {
+		r.PerPoint = wall / time.Duration(n)
+	}
+}
+
 // ExploreSim measures every design point by re-running the timing
 // simulator: the ground truth, and the cost yardstick of Figure 13.
+// It is the serial form of ExploreSimOpts.
 func ExploreSim(cfg *config.Config, uops []isa.MicroOp, points []stacks.Latencies) (*Report, error) {
-	rep := &Report{Method: "simulator", Results: make([]Result, 0, len(points))}
-	start := time.Now()
-	for _, l := range points {
-		c := cfg.Clone()
-		c.Lat = l
-		s, err := cpu.New(c)
-		if err != nil {
-			return nil, err
+	return ExploreSimOpts(cfg, uops, points, ExploreOptions{})
+}
+
+// ExploreSimOpts measures every design point by re-running the timing
+// simulator, sharding the point list over opts.Parallelism workers. Each
+// worker clones the configuration per point, so the sweep is race-free and
+// its Results are identical to the serial sweep's.
+func ExploreSimOpts(cfg *config.Config, uops []isa.MicroOp, points []stacks.Latencies, opts ExploreOptions) (*Report, error) {
+	rep := &Report{Method: "simulator", Results: make([]Result, len(points)), Setup: opts.Setup}
+	results := rep.Results
+	wall, workers, err := sweep(len(points), opts, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			c := cfg.Clone()
+			c.Lat = points[i]
+			s, err := cpu.New(c)
+			if err != nil {
+				return err
+			}
+			tr, err := s.Run(uops)
+			if err != nil {
+				return err
+			}
+			results[i] = Result{Lat: points[i], Cycles: float64(tr.Cycles)}
 		}
-		tr, err := s.Run(uops)
-		if err != nil {
-			return nil, err
-		}
-		rep.Results = append(rep.Results, Result{Lat: l, Cycles: float64(tr.Cycles)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if len(points) > 0 {
-		rep.PerPoint = time.Since(start) / time.Duration(len(points))
-	}
+	rep.finish(wall, workers)
 	return rep, nil
 }
 
 // ExploreGraph predicts every design point by re-evaluating the longest
 // path of a prebuilt baseline dependence graph (the Fields-style
 // reconstruction comparator): cheaper than simulation, still linear in
-// trace length per point.
+// trace length per point. It is the serial form of ExploreGraphOpts.
 func ExploreGraph(g *depgraph.Graph, points []stacks.Latencies) *Report {
-	rep := &Report{Method: "graph", Results: make([]Result, 0, len(points))}
-	start := time.Now()
-	for _, l := range points {
-		l := l
-		rep.Results = append(rep.Results, Result{Lat: l, Cycles: float64(g.LongestPath(&l))})
+	return ExploreGraphOpts(g, points, ExploreOptions{})
+}
+
+// ExploreGraphOpts predicts every design point from a prebuilt dependence
+// graph, sharding the point list over opts.Parallelism workers. Each worker
+// holds one reusable depgraph.Evaluator, so the whole sweep costs O(workers)
+// allocations instead of O(points) distance buffers; the graph itself is
+// only read. Results are written by point index and are byte-identical to
+// the serial sweep's.
+func ExploreGraphOpts(g *depgraph.Graph, points []stacks.Latencies, opts ExploreOptions) *Report {
+	rep := &Report{Method: "graph", Results: make([]Result, len(points)), Setup: opts.Setup}
+	results := rep.Results
+	nw := opts.workerCount(len(points))
+	evals := make([]*depgraph.Evaluator, nw)
+	for i := range evals {
+		evals[i] = g.NewEvaluator()
 	}
-	if len(points) > 0 {
-		rep.PerPoint = time.Since(start) / time.Duration(len(points))
-	}
+	wall, workers, _ := sweep(len(points), opts, func(worker, lo, hi int) error {
+		ev := evals[worker]
+		for i := lo; i < hi; i++ {
+			results[i] = Result{Lat: points[i], Cycles: float64(ev.LongestPath(&points[i]))}
+		}
+		return nil
+	})
+	rep.finish(wall, workers)
 	return rep
 }
 
 // ExploreRpStacks predicts every design point from a prebuilt RpStacks
 // analysis: per point the cost is proportional to the (small) number of
-// representative stacks, independent of trace length.
+// representative stacks, independent of trace length. It is the serial form
+// of ExploreRpStacksOpts.
 func ExploreRpStacks(a *core.Analysis, points []stacks.Latencies) *Report {
-	rep := &Report{Method: "rpstacks", Results: make([]Result, 0, len(points))}
-	start := time.Now()
-	for _, l := range points {
-		l := l
-		rep.Results = append(rep.Results, Result{Lat: l, Cycles: a.Predict(&l)})
-	}
-	if len(points) > 0 {
-		rep.PerPoint = time.Since(start) / time.Duration(len(points))
-	}
+	return ExploreRpStacksOpts(a, points, ExploreOptions{})
+}
+
+// ExploreRpStacksOpts predicts every design point from a prebuilt RpStacks
+// analysis, sharding the point list over opts.Parallelism workers.
+// Analysis.Predict is read-only, so workers share the analysis without
+// synchronization; Results are written by point index and are byte-identical
+// to the serial sweep's.
+func ExploreRpStacksOpts(a *core.Analysis, points []stacks.Latencies, opts ExploreOptions) *Report {
+	rep := &Report{Method: "rpstacks", Results: make([]Result, len(points)), Setup: opts.Setup}
+	results := rep.Results
+	wall, workers, _ := sweep(len(points), opts, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			results[i] = Result{Lat: points[i], Cycles: a.Predict(&points[i])}
+		}
+		return nil
+	})
+	rep.finish(wall, workers)
 	return rep
 }
 

@@ -1,0 +1,113 @@
+package dse
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ExploreOptions configures how a sweep engine walks the design-point list.
+// The zero value is a serial sweep, identical to the engines' historical
+// behaviour.
+type ExploreOptions struct {
+	// Parallelism is the number of sweep workers. Zero or one runs the
+	// per-point loop serially. Results are written into a pre-sized slice by
+	// design-point index, so output ordering is deterministic and identical
+	// to the serial sweep regardless of the worker count.
+	Parallelism int
+	// ChunkSize is the number of consecutive design points one work unit
+	// claims. Zero picks a size that gives every worker several chunks (for
+	// load balance) while keeping claim traffic negligible.
+	ChunkSize int
+	// Setup is the one-time engine preparation cost — simulate, analyze,
+	// build the graph — which the engine records in Report.Setup so that
+	// Report.Total and Crossover need no hand-patching by callers.
+	Setup time.Duration
+}
+
+// workerCount returns the number of workers a sweep over n points will use.
+func (o *ExploreOptions) workerCount(n int) int {
+	w := o.Parallelism
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1 // n == 0 still needs one slot for per-worker state
+	}
+	return w
+}
+
+// chunkSize returns the points-per-claim granularity for a sweep over n
+// points with w workers.
+func (o *ExploreOptions) chunkSize(n, w int) int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	// Aim for ~8 chunks per worker so stragglers rebalance, with a floor of
+	// one point.
+	c := n / (w * 8)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// sweep partitions [0, n) into chunks of consecutive indices and runs eval
+// over them on the configured worker count. eval(worker, lo, hi) must write
+// its outputs by index; chunk-to-worker assignment is dynamic (atomic claim),
+// which is safe precisely because output slots are disjoint. It returns the
+// loop wall-clock, the per-worker timings, and the first error any worker
+// hit (remaining chunks are abandoned once an error is recorded).
+func sweep(n int, opts ExploreOptions, eval func(worker, lo, hi int) error) (time.Duration, []WorkerTiming, error) {
+	workers := opts.workerCount(n)
+	chunk := opts.chunkSize(n, workers)
+	start := time.Now()
+	if workers == 1 {
+		err := eval(0, 0, n)
+		wall := time.Since(start)
+		return wall, []WorkerTiming{{Worker: 0, Points: n, Busy: wall}}, err
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	timings := make([]WorkerTiming, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			t := &timings[worker]
+			t.Worker = worker
+			busyStart := time.Now()
+			for !failed.Load() {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					break
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if err := eval(worker, lo, hi); err != nil {
+					failed.Store(true)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					break
+				}
+				t.Points += hi - lo
+			}
+			t.Busy = time.Since(busyStart)
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start), timings, firstErr
+}

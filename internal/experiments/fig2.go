@@ -5,6 +5,8 @@ import (
 	"strings"
 	"text/tabwriter"
 	"time"
+
+	"repro/internal/dse"
 )
 
 // Literature simulation speeds in MIPS used by the paper's Figure 2a ("we
@@ -36,6 +38,12 @@ type Fig2Result struct {
 	Setup       time.Duration
 	RpPerPoint  time.Duration
 	Points      []int
+	// Sharded-sweep measurement: wall-clock of the same prediction sweep
+	// run serially and with SweepWorkers workers, and the resulting speedup.
+	SweepWorkers int
+	SerialSweep  time.Duration
+	ParSweep     time.Duration
+	ParSpeedup   float64
 }
 
 // Fig2 measures this host's simulator and RpStacks throughput on the given
@@ -50,14 +58,15 @@ func (r *Runner) Fig2(name string) (*Fig2Result, error) {
 	rpMIPS := n / (a.SimTime + a.AnalyzeTime).Seconds() / 1e6
 
 	points := fig13Space(r.Cfg.Lat)
-	rp := a.Analysis // prediction loop cost
-	start := time.Now()
-	var sink float64
-	for i := range points {
-		sink += rp.Predict(&points[i])
+	// The per-point cost model is measured serially (Figure 2b plots the
+	// single-core method cost); the sharded sweep is timed against it.
+	serial := dse.ExploreRpStacksOpts(a.Analysis, points, dse.ExploreOptions{})
+	perPred := serial.PerPoint
+	par := dse.ExploreRpStacksOpts(a.Analysis, points, dse.ExploreOptions{Parallelism: r.Parallelism})
+	speedup := 0.0
+	if par.Wall > 0 {
+		speedup = float64(serial.Wall) / float64(par.Wall)
 	}
-	_ = sink
-	perPred := time.Since(start) / time.Duration(len(points))
 
 	return &Fig2Result{
 		Rows: []Fig2Row{
@@ -69,10 +78,14 @@ func (r *Runner) Fig2(name string) (*Fig2Result, error) {
 			{Method: "this simulator", MIPS: simMIPS, Measured: true},
 			{Method: "RpStacks (collect+analyze)", MIPS: rpMIPS, Measured: true},
 		},
-		SimPerPoint: a.SimTime,
-		Setup:       a.SimTime + a.AnalyzeTime,
-		RpPerPoint:  perPred,
-		Points:      []int{1, 10, 100, 1000},
+		SimPerPoint:  a.SimTime,
+		Setup:        a.SimTime + a.AnalyzeTime,
+		RpPerPoint:   perPred,
+		Points:       []int{1, 10, 100, 1000},
+		SweepWorkers: len(par.Workers),
+		SerialSweep:  serial.Wall,
+		ParSweep:     par.Wall,
+		ParSpeedup:   speedup,
 	}, nil
 }
 
@@ -100,6 +113,9 @@ func (f *Fig2Result) String() string {
 		fmt.Fprintf(w, "%d\t%v\t%v\n", n, sim.Round(time.Millisecond), rp.Round(time.Millisecond))
 	}
 	w.Flush()
+	fmt.Fprintf(&b, "\nsharded prediction sweep: serial %v, %d workers %v (%.2fx)\n",
+		f.SerialSweep.Round(time.Microsecond), f.SweepWorkers,
+		f.ParSweep.Round(time.Microsecond), f.ParSpeedup)
 	return b.String()
 }
 

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -37,6 +38,10 @@ type Runner struct {
 	Seed int64
 	// Opts are the RpStacks execution parameters.
 	Opts core.Options
+	// Parallelism is the sweep worker count the figure experiments hand to
+	// the dse engines (1: serial). Sweep results are identical either way;
+	// only the wall-clock changes.
+	Parallelism int
 
 	apps   map[string]*App
 	truths map[string]float64
@@ -45,13 +50,14 @@ type Runner struct {
 // NewRunner builds a Runner with the paper's defaults.
 func NewRunner(microOps int) *Runner {
 	return &Runner{
-		Cfg:      config.Baseline(),
-		MicroOps: microOps,
-		Warmup:   3 * microOps,
-		Seed:     42,
-		Opts:     core.DefaultOptions(),
-		apps:     make(map[string]*App),
-		truths:   make(map[string]float64),
+		Cfg:         config.Baseline(),
+		MicroOps:    microOps,
+		Warmup:      3 * microOps,
+		Seed:        42,
+		Opts:        core.DefaultOptions(),
+		Parallelism: runtime.GOMAXPROCS(0),
+		apps:        make(map[string]*App),
+		truths:      make(map[string]float64),
 	}
 }
 

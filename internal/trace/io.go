@@ -111,14 +111,22 @@ func Read(r io.Reader) (*Trace, error) {
 	if n > maxRecords {
 		return nil, fmt.Errorf("trace: record count %d exceeds limit", n)
 	}
-	t := &Trace{Records: make([]Record, n)}
+	// The count is untrusted until that many records actually parse, so the
+	// slice grows as records arrive instead of trusting n with one huge
+	// upfront allocation.
+	capHint := n
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	t := &Trace{Records: make([]Record, 0, capHint)}
 	if t.Cycles, err = getI(); err != nil {
 		return nil, err
 	}
 	if t.Mispredicts, err = getU(); err != nil {
 		return nil, err
 	}
-	for i := range t.Records {
+	for i := 0; i < int(n); i++ {
+		t.Records = append(t.Records, Record{})
 		rec := &t.Records[i]
 		var vals [5]uint64
 		for j := range vals {
