@@ -413,7 +413,9 @@ func benchExploreGraph(b *testing.B, workers int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dse.ExploreGraphOpts(a.Graph, points, opts)
+		if _, err := dse.ExploreGraphOpts(a.Graph, points, opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(len(points)), "points")
 	b.ReportMetric(float64(workers), "workers")
@@ -439,7 +441,9 @@ func benchExploreRpStacksSweep(b *testing.B, workers int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dse.ExploreRpStacksOpts(a.Analysis, points, opts)
+		if _, err := dse.ExploreRpStacksOpts(a.Analysis, points, opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(len(points)), "points")
 	b.ReportMetric(float64(workers), "workers")

@@ -15,7 +15,6 @@ import (
 	"os"
 	"runtime"
 	"sort"
-	"strconv"
 	"strings"
 	"time"
 
@@ -24,29 +23,24 @@ import (
 	"repro/internal/stacks"
 )
 
-// axisFlags collects repeated -axis flags.
+// axisFlags collects repeated -axis flags. Parsing is shared with the
+// rpserved job-request decoder via dse.ParseAxisSpec, so the CLI and the
+// service accept exactly the same axis syntax.
 type axisFlags []dse.Axis
 
 func (a *axisFlags) String() string { return fmt.Sprint(*a) }
 
 func (a *axisFlags) Set(v string) error {
-	parts := strings.SplitN(v, "=", 2)
-	if len(parts) != 2 {
-		return fmt.Errorf("want Event=v1,v2,...")
-	}
-	ev, err := stacks.ParseEvent(strings.TrimSpace(parts[0]))
+	ax, err := dse.ParseAxisSpec(v)
 	if err != nil {
 		return err
 	}
-	var vals []float64
-	for _, s := range strings.Split(parts[1], ",") {
-		x, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-		if err != nil {
-			return err
+	for _, prev := range *a {
+		if prev.Event == ax.Event {
+			return fmt.Errorf("duplicate -axis for event %s", ax.Event)
 		}
-		vals = append(vals, x)
 	}
-	*a = append(*a, dse.Axis{Event: ev, Values: vals})
+	*a = append(*a, ax)
 	return nil
 }
 
@@ -61,6 +55,23 @@ func main() {
 	chunk := flag.Int("chunk", 0, "design points per work unit (0: automatic)")
 	flag.Var(&axes, "axis", "latency axis, e.g. L1D=1,2,3,4 (repeatable)")
 	flag.Parse()
+
+	if *par < 1 {
+		fmt.Fprintf(os.Stderr, "rpexplore: -parallelism must be at least 1, got %d\n", *par)
+		os.Exit(2)
+	}
+	// -chunk 0 is the unset default (automatic sizing); an explicit
+	// non-positive chunk is an error, not something to silently clamp.
+	chunkSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "chunk" {
+			chunkSet = true
+		}
+	})
+	if chunkSet && *chunk < 1 {
+		fmt.Fprintf(os.Stderr, "rpexplore: -chunk must be at least 1, got %d (omit the flag for automatic sizing)\n", *chunk)
+		os.Exit(2)
+	}
 
 	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk); err != nil {
 		fmt.Fprintln(os.Stderr, "rpexplore:", err)
@@ -101,16 +112,16 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 	var rep *dse.Report
 	switch method {
 	case "rpstacks":
-		rep = dse.ExploreRpStacksOpts(a.Analysis, points, opts)
+		rep, err = dse.ExploreRpStacksOpts(a.Analysis, points, opts)
 	case "graph":
-		rep = dse.ExploreGraphOpts(a.Graph, points, opts)
+		rep, err = dse.ExploreGraphOpts(a.Graph, points, opts)
 	case "sim":
 		rep, err = dse.ExploreSimOpts(r.Cfg, a.UOps, points, opts)
-		if err != nil {
-			return err
-		}
 	default:
 		return fmt.Errorf("unknown method %q", method)
+	}
+	if err != nil {
+		return err
 	}
 	elapsed := rep.Wall
 

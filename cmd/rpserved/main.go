@@ -1,0 +1,107 @@
+// Command rpserved runs the design-space exploration service: an HTTP server
+// accepting exploration jobs (POST /jobs), executing them on a bounded worker
+// pool over the dse sweep engines, and amortizing the one-time
+// simulate/analyze setup across requests through a content-addressed cache.
+//
+// Usage:
+//
+//	rpserved [-addr :8321] [-workers 4] [-queue 64] [-parallelism 8] \
+//	         [-cache 32] [-max-grid 1048576] [-timeout 2m] [-drain 30s]
+//
+// Endpoints:
+//
+//	POST /jobs      submit a job (JSON body; see internal/serve.JobRequest)
+//	GET  /jobs      list known jobs
+//	GET  /jobs/{id} poll one job, including its ranked results when done
+//	GET  /metrics   Prometheus text exposition
+//	GET  /healthz   liveness and queue state
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent job executors")
+	queue := flag.Int("queue", 64, "job queue depth before submissions are shed with 429")
+	par := flag.Int("parallelism", runtime.GOMAXPROCS(0), "default per-job sweep workers")
+	cacheEntries := flag.Int("cache", 32, "entries per artifact cache")
+	maxGrid := flag.Int("max-grid", 1<<20, "largest design grid one job may request")
+	timeout := flag.Duration("timeout", 2*time.Minute, "default per-job deadline")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "largest per-job deadline a request may ask for")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown grace for in-flight jobs")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queue, *par, *cacheEntries, *maxGrid, *timeout, *maxTimeout, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "rpserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, maxTimeout, drain time.Duration) error {
+	if workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", workers)
+	}
+	if queue < 1 {
+		return fmt.Errorf("-queue must be at least 1, got %d", queue)
+	}
+	if par < 1 {
+		return fmt.Errorf("-parallelism must be at least 1, got %d", par)
+	}
+	lim := serve.DefaultLimits()
+	if maxGrid > 0 {
+		lim.MaxGridPoints = maxGrid
+	}
+	if timeout > 0 {
+		lim.DefaultTimeout = timeout
+	}
+	if maxTimeout > 0 {
+		lim.MaxTimeout = maxTimeout
+	}
+
+	svc := serve.New(serve.Config{
+		QueueDepth:       queue,
+		Workers:          workers,
+		SweepParallelism: par,
+		CacheEntries:     cacheEntries,
+		Limits:           lim,
+	})
+	httpSrv := &http.Server{Addr: addr, Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("rpserved: listening on %s (%d workers, queue depth %d)\n", addr, workers, queue)
+
+	select {
+	case err := <-errc:
+		return err // the listener failed before any shutdown signal
+	case <-ctx.Done():
+	}
+
+	fmt.Println("rpserved: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Stop the listener first so no new jobs arrive, then drain the queue.
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("stopping listener: %w", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("draining jobs: %w", err)
+	}
+	fmt.Println("rpserved: done")
+	return nil
+}

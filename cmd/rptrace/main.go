@@ -90,6 +90,9 @@ func cmdGen(args []string) error {
 	}
 	fmt.Printf("%s: %d µops, %d cycles (CPI %.3f) -> %s\n",
 		*app, tr.MicroOps(), tr.Cycles, tr.CPI(), *out)
+	// The digest is the trace's content address in the rpserved artifact
+	// cache, so jobs over this file can be correlated with server metrics.
+	fmt.Printf("digest: %s\n", trace.Digest(tr))
 	return f.Close()
 }
 
@@ -173,6 +176,7 @@ func cmdStat(args []string) error {
 	}
 	fmt.Printf("µops: %d  macro-ops: %d  cycles: %d  CPI: %.3f\n",
 		tr.MicroOps(), tr.MacroOps(), tr.Cycles, tr.CPI())
+	fmt.Printf("digest: %s\n", trace.Digest(tr))
 	fmt.Printf("mispredicted branches: %d\n", mispred)
 	fmt.Println("class mix:")
 	for c := isa.OpClass(0); c < isa.NumOpClasses; c++ {

@@ -1,0 +1,55 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/stacks"
+)
+
+// ParseAxisSpec parses the textual axis form shared by cmd/rpexplore's
+// repeated -axis flag and the exploration service's JSON job requests:
+// "Event=v1,v2,...", e.g. "L1D=1,2,3,4". Values must be finite and
+// non-negative; well-formedness across axes (duplicates, optimizability) is
+// Space.Validate's job.
+func ParseAxisSpec(s string) (Axis, error) {
+	name, list, ok := strings.Cut(s, "=")
+	if !ok {
+		return Axis{}, fmt.Errorf("dse: axis %q: want Event=v1,v2,...", s)
+	}
+	ev, err := stacks.ParseEvent(strings.TrimSpace(name))
+	if err != nil {
+		return Axis{}, fmt.Errorf("dse: axis %q: %w", s, err)
+	}
+	var vals []float64
+	for _, field := range strings.Split(list, ",") {
+		x, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return Axis{}, fmt.Errorf("dse: axis %q: bad latency %q", s, field)
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return Axis{}, fmt.Errorf("dse: axis %q: latency %g is not a finite non-negative cycle count", s, x)
+		}
+		vals = append(vals, x)
+	}
+	return Axis{Event: ev, Values: vals}, nil
+}
+
+// SizeWithin returns the design-point count if it does not exceed limit.
+// Unlike Size it cannot overflow on adversarial axis lists: the product is
+// abandoned as soon as it would pass limit, returning ok == false.
+func (s *Space) SizeWithin(limit int) (int, bool) {
+	n := 1
+	for _, a := range s.Axes {
+		if len(a.Values) == 0 {
+			continue // Validate rejects this; keep the product well-defined
+		}
+		if n > limit/len(a.Values) {
+			return 0, false
+		}
+		n *= len(a.Values)
+	}
+	return n, true
+}

@@ -59,15 +59,23 @@ func (s *Space) Enumerate(base stacks.Latencies) []stacks.Latencies {
 	return out
 }
 
-// Validate checks the space is well-formed.
+// Validate checks the space is well-formed: at least one axis, every axis a
+// latency-domain knob with at least one non-negative value, and no event
+// named by two axes (a duplicate would silently shadow the earlier axis in
+// Point's row-major walk).
 func (s *Space) Validate() error {
 	if len(s.Axes) == 0 {
 		return fmt.Errorf("dse: empty design space")
 	}
+	var seen [stacks.NumEvents]bool
 	for _, a := range s.Axes {
 		if !a.Event.Optimizable() {
 			return fmt.Errorf("dse: event %s is not a latency-domain knob", a.Event)
 		}
+		if seen[a.Event] {
+			return fmt.Errorf("dse: duplicate axis for event %s", a.Event)
+		}
+		seen[a.Event] = true
 		if len(a.Values) == 0 {
 			return fmt.Errorf("dse: axis %s has no values", a.Event)
 		}
@@ -169,9 +177,11 @@ func ExploreSimOpts(cfg *config.Config, uops []isa.MicroOp, points []stacks.Late
 // ExploreGraph predicts every design point by re-evaluating the longest
 // path of a prebuilt baseline dependence graph (the Fields-style
 // reconstruction comparator): cheaper than simulation, still linear in
-// trace length per point. It is the serial form of ExploreGraphOpts.
+// trace length per point. It is the serial form of ExploreGraphOpts; with
+// no Context the sweep cannot fail, so no error is returned.
 func ExploreGraph(g *depgraph.Graph, points []stacks.Latencies) *Report {
-	return ExploreGraphOpts(g, points, ExploreOptions{})
+	rep, _ := ExploreGraphOpts(g, points, ExploreOptions{})
+	return rep
 }
 
 // ExploreGraphOpts predicts every design point from a prebuilt dependence
@@ -179,8 +189,9 @@ func ExploreGraph(g *depgraph.Graph, points []stacks.Latencies) *Report {
 // holds one reusable depgraph.Evaluator, so the whole sweep costs O(workers)
 // allocations instead of O(points) distance buffers; the graph itself is
 // only read. Results are written by point index and are byte-identical to
-// the serial sweep's.
-func ExploreGraphOpts(g *depgraph.Graph, points []stacks.Latencies, opts ExploreOptions) *Report {
+// the serial sweep's. The only possible error is opts.Context's
+// cancellation error, checked between chunks.
+func ExploreGraphOpts(g *depgraph.Graph, points []stacks.Latencies, opts ExploreOptions) (*Report, error) {
 	rep := &Report{Method: "graph", Results: make([]Result, len(points)), Setup: opts.Setup}
 	results := rep.Results
 	nw := opts.workerCount(len(points))
@@ -188,41 +199,50 @@ func ExploreGraphOpts(g *depgraph.Graph, points []stacks.Latencies, opts Explore
 	for i := range evals {
 		evals[i] = g.NewEvaluator()
 	}
-	wall, workers, _ := sweep(len(points), opts, func(worker, lo, hi int) error {
+	wall, workers, err := sweep(len(points), opts, func(worker, lo, hi int) error {
 		ev := evals[worker]
 		for i := lo; i < hi; i++ {
 			results[i] = Result{Lat: points[i], Cycles: float64(ev.LongestPath(&points[i]))}
 		}
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	rep.finish(wall, workers)
-	return rep
+	return rep, nil
 }
 
 // ExploreRpStacks predicts every design point from a prebuilt RpStacks
 // analysis: per point the cost is proportional to the (small) number of
 // representative stacks, independent of trace length. It is the serial form
-// of ExploreRpStacksOpts.
+// of ExploreRpStacksOpts; with no Context the sweep cannot fail, so no
+// error is returned.
 func ExploreRpStacks(a *core.Analysis, points []stacks.Latencies) *Report {
-	return ExploreRpStacksOpts(a, points, ExploreOptions{})
+	rep, _ := ExploreRpStacksOpts(a, points, ExploreOptions{})
+	return rep
 }
 
 // ExploreRpStacksOpts predicts every design point from a prebuilt RpStacks
 // analysis, sharding the point list over opts.Parallelism workers.
 // Analysis.Predict is read-only, so workers share the analysis without
 // synchronization; Results are written by point index and are byte-identical
-// to the serial sweep's.
-func ExploreRpStacksOpts(a *core.Analysis, points []stacks.Latencies, opts ExploreOptions) *Report {
+// to the serial sweep's. The only possible error is opts.Context's
+// cancellation error, checked between chunks.
+func ExploreRpStacksOpts(a *core.Analysis, points []stacks.Latencies, opts ExploreOptions) (*Report, error) {
 	rep := &Report{Method: "rpstacks", Results: make([]Result, len(points)), Setup: opts.Setup}
 	results := rep.Results
-	wall, workers, _ := sweep(len(points), opts, func(_, lo, hi int) error {
+	wall, workers, err := sweep(len(points), opts, func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			results[i] = Result{Lat: points[i], Cycles: a.Predict(&points[i])}
 		}
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	rep.finish(wall, workers)
-	return rep
+	return rep, nil
 }
 
 // Crossover returns the design-point count beyond which method a (with

@@ -48,11 +48,11 @@ func TestSweepMonotonicityGraphAndRpStacks(t *testing.T) {
 		}
 	}
 	check("graph", func(l *stacks.Latencies) float64 {
-		rep := ExploreGraphOpts(g, []stacks.Latencies{*l}, ExploreOptions{})
+		rep, _ := ExploreGraphOpts(g, []stacks.Latencies{*l}, ExploreOptions{})
 		return rep.Results[0].Cycles
 	})
 	check("rpstacks", func(l *stacks.Latencies) float64 {
-		rep := ExploreRpStacksOpts(a, []stacks.Latencies{*l}, ExploreOptions{Parallelism: 2})
+		rep, _ := ExploreRpStacksOpts(a, []stacks.Latencies{*l}, ExploreOptions{Parallelism: 2})
 		return rep.Results[0].Cycles
 	})
 }

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,14 @@ type ExploreOptions struct {
 	// build the graph — which the engine records in Report.Setup so that
 	// Report.Total and Crossover need no hand-patching by callers.
 	Setup time.Duration
+	// Context, when non-nil, cancels the sweep between work units: every
+	// worker (including the serial one) checks it before claiming its next
+	// chunk and the sweep returns the context's error. Cancellation
+	// granularity is therefore one chunk — callers wanting prompt
+	// cancellation of slow per-point engines should pick a small ChunkSize.
+	// A nil Context never cancels and keeps the serial fast path free of
+	// per-chunk checks.
+	Context context.Context
 }
 
 // workerCount returns the number of workers a sweep over n points will use.
@@ -60,15 +69,39 @@ func (o *ExploreOptions) chunkSize(n, w int) int {
 // its outputs by index; chunk-to-worker assignment is dynamic (atomic claim),
 // which is safe precisely because output slots are disjoint. It returns the
 // loop wall-clock, the per-worker timings, and the first error any worker
-// hit (remaining chunks are abandoned once an error is recorded).
+// hit — an eval failure or the configured Context's cancellation error —
+// with the remaining chunks abandoned once an error is recorded.
 func sweep(n int, opts ExploreOptions, eval func(worker, lo, hi int) error) (time.Duration, []WorkerTiming, error) {
+	ctx := opts.Context
 	workers := opts.workerCount(n)
 	chunk := opts.chunkSize(n, workers)
 	start := time.Now()
 	if workers == 1 {
-		err := eval(0, 0, n)
+		if ctx == nil {
+			err := eval(0, 0, n)
+			wall := time.Since(start)
+			return wall, []WorkerTiming{{Worker: 0, Points: n, Busy: wall}}, err
+		}
+		// Cancellable serial sweep: walk the same chunks a one-worker pool
+		// would, checking the context between them.
+		t := WorkerTiming{Worker: 0}
+		var err error
+		for lo := 0; lo < n; lo += chunk {
+			if err = ctx.Err(); err != nil {
+				break
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if err = eval(0, lo, hi); err != nil {
+				break
+			}
+			t.Points += hi - lo
+		}
 		wall := time.Since(start)
-		return wall, []WorkerTiming{{Worker: 0, Points: n, Busy: wall}}, err
+		t.Busy = wall
+		return wall, []WorkerTiming{t}, err
 	}
 	var (
 		next     atomic.Int64
@@ -77,6 +110,14 @@ func sweep(n int, opts ExploreOptions, eval func(worker, lo, hi int) error) (tim
 		errMu    sync.Mutex
 		firstErr error
 	)
+	fail := func(err error) {
+		failed.Store(true)
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	timings := make([]WorkerTiming, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -86,6 +127,12 @@ func sweep(n int, opts ExploreOptions, eval func(worker, lo, hi int) error) (tim
 			t.Worker = worker
 			busyStart := time.Now()
 			for !failed.Load() {
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						fail(err)
+						break
+					}
+				}
 				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= n {
 					break
@@ -95,12 +142,7 @@ func sweep(n int, opts ExploreOptions, eval func(worker, lo, hi int) error) (tim
 					hi = n
 				}
 				if err := eval(worker, lo, hi); err != nil {
-					failed.Store(true)
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
+					fail(err)
 					break
 				}
 				t.Points += hi - lo

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSingleFlight hammers one key from many goroutines and requires the
+// build to run exactly once, with every caller seeing the same value — the
+// property the serving acceptance test leans on ("setup cost paid at most
+// once" across 8 concurrent jobs).
+func TestSingleFlight(t *testing.T) {
+	c := New[int](8)
+	var builds atomic.Int32
+	const callers = 32
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	vals := make([]int, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.GetOrCompute("k", func() (int, time.Duration, error) {
+				builds.Add(1)
+				time.Sleep(5 * time.Millisecond) // widen the contention window
+				return 42, 100 * time.Millisecond, nil
+			})
+			vals[i], errs[i] = v, err
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times, want 1", n)
+	}
+	for i := range vals {
+		if errs[i] != nil || vals[i] != 42 {
+			t.Fatalf("caller %d: got (%d, %v)", i, vals[i], errs[i])
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits != callers-1 {
+		t.Fatalf("hits = %d, want %d", st.Hits, callers-1)
+	}
+
+	// A later request hits the completed entry and banks its setup cost.
+	saved := st.SavedSetup
+	if _, hit, err := c.GetOrCompute("k", func() (int, time.Duration, error) {
+		t.Fatal("build re-ran for a cached key")
+		return 0, 0, nil
+	}); err != nil || !hit {
+		t.Fatalf("completed entry not served as a hit (hit=%v err=%v)", hit, err)
+	}
+	if got := c.Stats().SavedSetup; got < saved+100*time.Millisecond {
+		t.Fatalf("saved setup %v did not grow by the entry cost", got)
+	}
+}
+
+// TestFailedBuildsNotCached checks error semantics: the failing build's
+// error reaches the caller, the key stays uncached, and a retry rebuilds.
+func TestFailedBuildsNotCached(t *testing.T) {
+	c := New[string](4)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute("k", func() (string, time.Duration, error) {
+		return "", 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if st := c.Stats(); st.Failures != 1 || st.Entries != 0 {
+		t.Fatalf("after failure: %+v, want 1 failure and 0 entries", st)
+	}
+	v, hit, err := c.GetOrCompute("k", func() (string, time.Duration, error) {
+		return "ok", 0, nil
+	})
+	if err != nil || hit || v != "ok" {
+		t.Fatalf("retry: got (%q, hit=%v, %v)", v, hit, err)
+	}
+}
+
+// TestLRUEviction fills the table past capacity and checks the
+// least-recently-used entry goes first.
+func TestLRUEviction(t *testing.T) {
+	c := New[int](2)
+	put := func(k string, v int) {
+		if _, _, err := c.GetOrCompute(k, func() (int, time.Duration, error) { return v, 0, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get := func(k string) (int, bool) {
+		v, hit, err := c.GetOrCompute(k, func() (int, time.Duration, error) { return -1, 0, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, hit
+	}
+	put("a", 1)
+	put("b", 2)
+	get("a") // freshen a: b becomes the LRU entry
+	put("c", 3)
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("after overflow: %+v, want 1 eviction and 2 entries", st)
+	}
+	if v, hit := get("a"); !hit || v != 1 {
+		t.Fatalf("a evicted or rebuilt: (%d, hit=%v)", v, hit)
+	}
+	if _, hit := get("b"); hit {
+		t.Fatal("b survived eviction despite being LRU")
+	}
+}
+
+// TestConcurrentDistinctKeys checks the table under a racy mixed load of
+// many keys with a small capacity: every result must match its key's value
+// (no cross-key bleed), exercised under -race.
+func TestConcurrentDistinctKeys(t *testing.T) {
+	c := New[int](4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := (g + i) % 10
+				v, _, err := c.GetOrCompute(fmt.Sprintf("k%d", k), func() (int, time.Duration, error) {
+					return k * 7, time.Millisecond, nil
+				})
+				if err != nil || v != k*7 {
+					t.Errorf("key k%d: got (%d, %v)", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 5 {
+		t.Fatalf("capacity 4 exceeded steadily: %d entries", n)
+	}
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzParseJobRequest throws arbitrary bytes at the job-request decoder. The
+// decoder guards the service's front door, so the invariants are strict: no
+// panic on any input, and every accepted spec honors the limits — the grid
+// size stays under the cap without the grid ever being materialized, exactly
+// one subject is set, and every scalar landed inside its bound.
+func FuzzParseJobRequest(f *testing.F) {
+	seeds := []string{
+		`{"workload":"429.mcf","axes":["L2D=8,12,16","MemD=150,200"]}`,
+		`{"workload":"429.mcf","axes":["L2D=8"],"engine":"sim","top":3,"micro_ops":500,"seed":9}`,
+		`{"trace_b64":"UlBUUkM=","axes":["Branch=10,14"],"engine":"graph"}`,
+		`{"workload":"429.mcf","axes":["L2D=8","L2D=12"]}`,
+		`{"axes":["L2D=1e308,2e308"]}`,
+		`{"workload":"429.mcf","axes":["L2D=-1"],"target_cpi":1.5,"timeout_ms":100}`,
+		`{"workload":"429.mcf","axes":["L2D=8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8,8"],"parallelism":4}`,
+		`[1,2,3]`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lim := DefaultLimits()
+		spec, err := ParseJobRequest(data, lim)
+		if err != nil {
+			return
+		}
+		if (spec.Workload == "") == (spec.Trace == nil) {
+			t.Fatalf("accepted spec without exactly one subject: %+v", spec)
+		}
+		if spec.GridSize < 1 || spec.GridSize > lim.MaxGridPoints {
+			t.Fatalf("grid size %d outside (0, %d]", spec.GridSize, lim.MaxGridPoints)
+		}
+		if err := spec.Space.Validate(); err != nil {
+			t.Fatalf("accepted invalid space: %v", err)
+		}
+		if spec.Top < 1 || spec.Top > lim.MaxTop {
+			t.Fatalf("top %d outside [1, %d]", spec.Top, lim.MaxTop)
+		}
+		if spec.Timeout <= 0 || spec.Timeout > lim.MaxTimeout {
+			t.Fatalf("timeout %v outside (0, %v]", spec.Timeout, lim.MaxTimeout)
+		}
+		if spec.Parallelism < 0 || spec.Parallelism > lim.MaxParallelism {
+			t.Fatalf("parallelism %d outside [0, %d]", spec.Parallelism, lim.MaxParallelism)
+		}
+		if spec.Workload != "" {
+			if spec.MicroOps < 1 || spec.MicroOps > lim.MaxMicroOps {
+				t.Fatalf("micro_ops %d outside [1, %d]", spec.MicroOps, lim.MaxMicroOps)
+			}
+		} else {
+			if len(spec.TraceDigest) != 64 {
+				t.Fatalf("upload accepted without a digest: %q", spec.TraceDigest)
+			}
+			if len(spec.Trace.Records) == 0 {
+				t.Fatal("upload accepted with no records")
+			}
+		}
+	})
+}

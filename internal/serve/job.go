@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// JobStatus is the lifecycle state of a submitted job.
+type JobStatus string
+
+const (
+	JobQueued   JobStatus = "queued"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobTimeout  JobStatus = "timeout"  // the per-job deadline expired mid-run
+	JobCanceled JobStatus = "canceled" // a forced shutdown abandoned the run
+)
+
+// Job is one accepted exploration request moving through the queue.
+type Job struct {
+	ID        string
+	Spec      *JobSpec
+	Submitted time.Time
+
+	mu       sync.Mutex
+	status   JobStatus
+	started  time.Time
+	finished time.Time
+	result   *JobResult
+	err      error
+}
+
+// PointResult is one ranked design point: the explored axis latencies and
+// the predicted cost.
+type PointResult struct {
+	Latencies map[string]float64 `json:"latencies"`
+	Cycles    float64            `json:"cycles"`
+	CPI       float64            `json:"cpi"`
+}
+
+// JobResult is the outcome of one finished exploration.
+type JobResult struct {
+	Engine      string        `json:"engine"`
+	TraceDigest string        `json:"trace_digest"`
+	GridPoints  int           `json:"grid_points"`
+	MicroOps    int           `json:"micro_ops"`
+	Meeting     int           `json:"meeting_target,omitempty"` // points under the CPI target
+	SetupMS     float64       `json:"setup_ms"`
+	SetupCached bool          `json:"setup_cached"` // every setup phase was a cache hit
+	SweepMS     float64       `json:"sweep_ms"`
+	Workers     int           `json:"sweep_workers"`
+	Points      []PointResult `json:"points"`
+}
+
+func (j *Job) setStatus(st JobStatus) {
+	j.mu.Lock()
+	j.status = st
+	if st == JobRunning {
+		j.started = time.Now()
+	}
+	j.mu.Unlock()
+}
+
+// complete records the terminal state, classifying context errors into the
+// timeout and canceled statuses, and returns the status it settled on.
+func (j *Job) complete(res *JobResult, err error) JobStatus {
+	st := JobDone
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		st = JobTimeout
+	case errors.Is(err, context.Canceled):
+		st = JobCanceled
+	default:
+		st = JobFailed
+	}
+	j.mu.Lock()
+	j.status = st
+	j.finished = time.Now()
+	j.result = res
+	j.err = err
+	j.mu.Unlock()
+	return st
+}
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// jobView is the JSON shape of a job in API responses.
+type jobView struct {
+	ID        string     `json:"id"`
+	Status    JobStatus  `json:"status"`
+	Workload  string     `json:"workload,omitempty"`
+	Engine    string     `json:"engine"`
+	GridSize  int        `json:"grid_points"`
+	Submitted time.Time  `json:"submitted"`
+	RunMS     float64    `json:"run_ms,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+}
+
+// view snapshots the job for an API response; withResult includes the full
+// ranked point list (GET /jobs/{id}) instead of just the summary row.
+func (j *Job) view(withResult bool) jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:        j.ID,
+		Status:    j.status,
+		Workload:  j.Spec.Workload,
+		Engine:    j.Spec.Engine,
+		GridSize:  j.Spec.GridSize,
+		Submitted: j.Submitted,
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		v.RunMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if withResult {
+		v.Result = j.result
+	}
+	return v
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve/cache"
+)
+
+// metrics.go — the service's hand-rolled observability layer. Counters and
+// histograms are plain atomics rendered in the Prometheus text exposition
+// format (version 0.0.4) by writeMetrics; no client library is pulled in.
+
+// sweepBuckets are the per-engine sweep-latency histogram bounds in
+// seconds. RpStacks sweeps land in the sub-millisecond buckets, graph
+// reconstruction in the middle, and per-point re-simulation at the top —
+// the spread is the paper's Figure 2b as an operational signal.
+var sweepBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// histogram is a fixed-bucket cumulative histogram safe for concurrent
+// observation.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last bucket is +Inf
+	sumNS  atomic.Int64
+	total  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.total.Add(1)
+}
+
+// jobStatuses are the terminal states the jobs_total counter is labelled
+// with, in render order.
+var jobStatuses = []JobStatus{JobDone, JobFailed, JobTimeout, JobCanceled}
+
+// metrics holds every service-level counter. Queue depth and cache counters
+// live with their owners and are pulled in at render time.
+type metrics struct {
+	submitted atomic.Uint64 // jobs accepted onto the queue
+	rejected  atomic.Uint64 // jobs shed with 429 (queue full)
+	invalid   atomic.Uint64 // requests rejected with 400
+	inflight  atomic.Int64  // jobs currently running on a worker
+	finished  map[JobStatus]*atomic.Uint64
+	sweeps    map[string]*histogram // per-engine sweep wall-clock
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		finished: make(map[JobStatus]*atomic.Uint64),
+		sweeps:   make(map[string]*histogram),
+	}
+	for _, st := range jobStatuses {
+		m.finished[st] = new(atomic.Uint64)
+	}
+	for _, engine := range engineNames {
+		m.sweeps[engine] = newHistogram(sweepBuckets)
+	}
+	return m
+}
+
+func (m *metrics) jobFinished(st JobStatus) {
+	if c, ok := m.finished[st]; ok {
+		c.Add(1)
+	}
+}
+
+func (m *metrics) observeSweep(engine string, wall time.Duration) {
+	if h, ok := m.sweeps[engine]; ok {
+		h.observe(wall)
+	}
+}
+
+// fmtFloat renders a float the way Prometheus expects.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeMetrics renders the full exposition: job counters, queue state,
+// cache counters (hit/miss/eviction and setup time saved) and the
+// per-engine sweep latency histograms.
+func (s *Server) writeMetrics(w io.Writer) {
+	m := s.metrics
+	line := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+
+	line("# HELP rpserved_jobs_submitted_total Jobs accepted onto the queue.")
+	line("# TYPE rpserved_jobs_submitted_total counter")
+	line("rpserved_jobs_submitted_total %d", m.submitted.Load())
+	line("# HELP rpserved_jobs_rejected_total Jobs shed with 429 because the queue was full.")
+	line("# TYPE rpserved_jobs_rejected_total counter")
+	line("rpserved_jobs_rejected_total %d", m.rejected.Load())
+	line("# HELP rpserved_requests_invalid_total Submissions rejected with 400.")
+	line("# TYPE rpserved_requests_invalid_total counter")
+	line("rpserved_requests_invalid_total %d", m.invalid.Load())
+
+	line("# HELP rpserved_jobs_total Finished jobs by terminal status.")
+	line("# TYPE rpserved_jobs_total counter")
+	for _, st := range jobStatuses {
+		line("rpserved_jobs_total{status=%q} %d", string(st), m.finished[st].Load())
+	}
+
+	line("# HELP rpserved_jobs_inflight Jobs currently running on a worker.")
+	line("# TYPE rpserved_jobs_inflight gauge")
+	line("rpserved_jobs_inflight %d", m.inflight.Load())
+	line("# HELP rpserved_queue_depth Jobs waiting on the queue.")
+	line("# TYPE rpserved_queue_depth gauge")
+	line("rpserved_queue_depth %d", len(s.queue))
+	line("# HELP rpserved_queue_capacity Bound of the job queue.")
+	line("# TYPE rpserved_queue_capacity gauge")
+	line("rpserved_queue_capacity %d", cap(s.queue))
+
+	var totalSaved time.Duration
+	for _, c := range []struct {
+		name string
+		st   cache.Stats
+	}{
+		{"artifacts", s.artifacts.Stats()},
+		{"workloads", s.workloads.Stats()},
+	} {
+		st := c.st
+		line("rpserved_cache_hits_total{cache=%q} %d", c.name, st.Hits)
+		line("rpserved_cache_misses_total{cache=%q} %d", c.name, st.Misses)
+		line("rpserved_cache_evictions_total{cache=%q} %d", c.name, st.Evictions)
+		line("rpserved_cache_entries{cache=%q} %d", c.name, st.Entries)
+		totalSaved += st.SavedSetup
+	}
+	line("# HELP rpserved_setup_saved_seconds_total Setup time cache hits avoided re-paying.")
+	line("# TYPE rpserved_setup_saved_seconds_total counter")
+	line("rpserved_setup_saved_seconds_total %s", fmtFloat(totalSaved.Seconds()))
+
+	line("# HELP rpserved_sweep_duration_seconds Per-engine design-space sweep wall-clock.")
+	line("# TYPE rpserved_sweep_duration_seconds histogram")
+	for _, engine := range engineNames {
+		h := m.sweeps[engine]
+		cum := uint64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			line("rpserved_sweep_duration_seconds_bucket{engine=%q,le=%q} %d", engine, fmtFloat(bound), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		line("rpserved_sweep_duration_seconds_bucket{engine=%q,le=\"+Inf\"} %d", engine, cum)
+		line("rpserved_sweep_duration_seconds_sum{engine=%q} %s", engine, fmtFloat(time.Duration(h.sumNS.Load()).Seconds()))
+		line("rpserved_sweep_duration_seconds_count{engine=%q} %d", engine, h.total.Load())
+	}
+}

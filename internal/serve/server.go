@@ -1,0 +1,549 @@
+// Package serve implements rpserved, the long-running design-space
+// exploration service: HTTP job submission over the dse sweep engines with
+// the one-time setup — simulate, analyze, build the dependence graph —
+// amortized across requests through a content-addressed artifact cache.
+//
+// The paper's pitch is that one simulation answers thousands of design-point
+// queries; a batch CLI still re-pays the simulation every invocation. The
+// service pays it once per trace content: artifacts are keyed by
+// trace.Digest (SHA-256 of the canonical trace encoding) plus the analysis
+// options and machine fingerprint, so any number of jobs over the same
+// workload — concurrent or sequential — share one setup and then only
+// re-weight representative stacks per design point.
+//
+// Robustness is part of the subsystem: the job queue is bounded and sheds
+// load with 429 + Retry-After instead of accepting unbounded work, every
+// job runs under its own deadline threaded into the sweep loop as a
+// context (dse.ExploreOptions.Context), and Shutdown drains in-flight and
+// queued jobs before returning. /metrics exports the counters in Prometheus
+// text format.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/depgraph"
+	"repro/internal/dse"
+	"repro/internal/isa"
+	"repro/internal/serve/cache"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a Server. The zero value gets sensible defaults
+// from New.
+type Config struct {
+	// QueueDepth bounds the number of accepted-but-not-running jobs;
+	// submissions beyond it are shed with 429.
+	QueueDepth int
+	// Workers is the number of concurrent job executors.
+	Workers int
+	// SweepParallelism is the per-job sweep worker count used when a job
+	// does not request its own.
+	SweepParallelism int
+	// CacheEntries bounds each artifact cache (workload simulations and
+	// per-digest analysis/graph pairs).
+	CacheEntries int
+	// RetainedJobs bounds the finished-job records kept for polling.
+	RetainedJobs int
+	// Limits bounds individual requests; zero means DefaultLimits.
+	Limits Limits
+	// BaseConfig is the machine under exploration (nil: config.Baseline).
+	BaseConfig *config.Config
+	// AnalysisOpts are the RpStacks execution parameters (zero:
+	// core.DefaultOptions).
+	AnalysisOpts core.Options
+}
+
+// Server is the exploration service. Create with New, expose as an
+// http.Handler, stop with Shutdown.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	metrics   *metrics
+	workloads *cache.Cache[*workloadArtifacts]
+	artifacts *cache.Cache[*setupArtifacts]
+
+	queue    chan *Job
+	wg       sync.WaitGroup
+	seq      atomic.Uint64
+	draining atomic.Bool
+	// submitMu serializes submissions against queue closure: Shutdown takes
+	// the write side before closing the channel, so no send can race it.
+	submitMu  sync.RWMutex
+	closeOnce sync.Once
+
+	// jobCtx is the parent of every job deadline; cancelled only when a
+	// Shutdown deadline forces in-flight sweeps to abandon their chunks.
+	jobCtx    context.Context
+	jobCancel context.CancelFunc
+
+	jobsMu    sync.Mutex
+	jobs      map[string]*Job
+	doneOrder []string
+
+	// setupPrint fingerprints the machine structure, baseline latencies and
+	// analysis options into every artifact cache key, so artifacts are
+	// shared only between jobs that would build identical ones.
+	setupPrint string
+
+	// beforeJob, when non-nil, runs on the worker goroutine before each
+	// job. Tests use it to hold workers busy deterministically.
+	beforeJob func(*Job)
+}
+
+// workloadArtifacts is one simulated named workload: the trace, the measured
+// µop stream (for the sim engine) and the trace's content digest.
+type workloadArtifacts struct {
+	tr     *trace.Trace
+	uops   []isa.MicroOp
+	digest string
+}
+
+// setupArtifacts are the content-addressed prediction engines of one trace.
+type setupArtifacts struct {
+	analysis *core.Analysis
+	graph    *depgraph.Graph
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SweepParallelism <= 0 {
+		cfg.SweepParallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 32
+	}
+	if cfg.RetainedJobs <= 0 {
+		cfg.RetainedJobs = 1024
+	}
+	if cfg.Limits == (Limits{}) {
+		cfg.Limits = DefaultLimits()
+	}
+	if cfg.BaseConfig == nil {
+		cfg.BaseConfig = config.Baseline()
+	}
+	if cfg.AnalysisOpts == (core.Options{}) {
+		cfg.AnalysisOpts = core.DefaultOptions()
+	}
+
+	s := &Server{
+		cfg:       cfg,
+		metrics:   newMetrics(),
+		workloads: cache.New[*workloadArtifacts](cfg.CacheEntries),
+		artifacts: cache.New[*setupArtifacts](cfg.CacheEntries),
+		queue:     make(chan *Job, cfg.QueueDepth),
+		jobs:      make(map[string]*Job),
+	}
+	s.jobCtx, s.jobCancel = context.WithCancel(context.Background())
+
+	cfgJSON, _ := json.Marshal(cfg.BaseConfig)
+	print := sha256.Sum256(fmt.Appendf(cfgJSON, "|%+v", cfg.AnalysisOpts))
+	s.setupPrint = fmt.Sprintf("%x", print[:8])
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP exposes the service as an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown stops accepting jobs, drains everything already accepted —
+// queued and in-flight — and waits for the workers to exit. If ctx expires
+// first, running sweeps are cancelled (their jobs finish as canceled) and
+// Shutdown still waits for the workers before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.submitMu.Lock()
+		s.draining.Store(true)
+		close(s.queue)
+		s.submitMu.Unlock()
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.jobCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker executes jobs until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job under its deadline and records the terminal
+// status. A sweep that exceeds the deadline returns promptly with the
+// context error (checked at every chunk boundary), so a timed-out job never
+// wedges its worker.
+func (s *Server) runJob(job *Job) {
+	if hook := s.beforeJob; hook != nil {
+		hook(job)
+	}
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+	job.setStatus(JobRunning)
+
+	ctx, cancel := context.WithTimeout(s.jobCtx, job.Spec.Timeout)
+	res, err := s.execute(ctx, job.Spec)
+	cancel()
+
+	st := job.complete(res, err)
+	s.metrics.jobFinished(st)
+	s.retire(job)
+}
+
+// execute runs the three phases of a job — obtain the trace, obtain the
+// prediction engine, sweep the grid — with the first two memoized in the
+// content-addressed caches and the context checked between phases.
+func (s *Server) execute(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	setupStart := time.Now()
+
+	// Phase 1: the trace (simulate the named workload, or use the upload).
+	tr, uops, digest := spec.Trace, []isa.MicroOp(nil), spec.TraceDigest
+	cached := true
+	if spec.Trace == nil {
+		wa, hit, err := s.workloads.GetOrCompute(workloadKey(spec), func() (*workloadArtifacts, time.Duration, error) {
+			return s.buildWorkload(spec)
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr, uops, digest = wa.tr, wa.uops, wa.digest
+		cached = cached && hit
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the prediction engine, content-addressed by trace digest.
+	var art *setupArtifacts
+	if spec.Engine != "sim" {
+		var hit bool
+		var err error
+		art, hit, err = s.artifacts.GetOrCompute(digest+"|"+s.setupPrint, func() (*setupArtifacts, time.Duration, error) {
+			return s.buildArtifacts(tr)
+		})
+		if err != nil {
+			return nil, err
+		}
+		cached = cached && hit
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	setupWall := time.Since(setupStart)
+
+	// Phase 3: the sweep, cancellable at chunk granularity.
+	par := spec.Parallelism
+	if par == 0 {
+		par = s.cfg.SweepParallelism
+	}
+	points := spec.Space.Enumerate(s.cfg.BaseConfig.Lat)
+	opts := dse.ExploreOptions{Parallelism: par, Context: ctx, Setup: setupWall}
+	var rep *dse.Report
+	var err error
+	switch spec.Engine {
+	case "rpstacks":
+		rep, err = dse.ExploreRpStacksOpts(art.analysis, points, opts)
+	case "graph":
+		rep, err = dse.ExploreGraphOpts(art.graph, points, opts)
+	case "sim":
+		rep, err = dse.ExploreSimOpts(s.cfg.BaseConfig, uops, points, opts)
+	default:
+		err = fmt.Errorf("serve: unknown engine %q", spec.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.observeSweep(spec.Engine, rep.Wall)
+	return rankResults(spec, tr, digest, rep, setupWall, cached), nil
+}
+
+// workloadKey identifies one named-workload simulation; the analysis layer
+// above it is keyed by content digest instead.
+func workloadKey(spec *JobSpec) string {
+	return fmt.Sprintf("%s|seed=%d|n=%d", spec.Workload, spec.Seed, spec.MicroOps)
+}
+
+// buildWorkload simulates the named workload once: functional warmup over
+// 3x the measured length (snapped to a macro-op boundary), then the traced
+// region. The returned cost is what later cache hits avoid re-paying.
+func (s *Server) buildWorkload(spec *JobSpec) (*workloadArtifacts, time.Duration, error) {
+	prof, ok := workload.ByName(spec.Workload)
+	if !ok {
+		return nil, 0, fmt.Errorf("serve: unknown workload %q", spec.Workload)
+	}
+	start := time.Now()
+	gen := workload.NewGenerator(prof, spec.Seed)
+	warm := 3 * spec.MicroOps
+	stream := gen.Take(warm + spec.MicroOps)
+	cut := warm
+	for cut < len(stream) && !stream[cut].SoM {
+		cut++
+	}
+	sim, err := cpu.New(s.cfg.BaseConfig)
+	if err != nil {
+		return nil, 0, err
+	}
+	sim.WarmCode(gen.CodeLines())
+	sim.WarmData(gen.DataLines())
+	sim.WarmUp(stream[:cut])
+	tr, err := sim.Run(stream[cut:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: simulating %s: %w", spec.Workload, err)
+	}
+	wa := &workloadArtifacts{tr: tr, uops: stream[cut:], digest: trace.Digest(tr)}
+	return wa, time.Since(start), nil
+}
+
+// buildArtifacts runs the expensive one-time analysis of a trace: the
+// RpStacks representative-stack extraction and the whole-trace dependence
+// graph, both reusable for any latency configuration of the structure.
+func (s *Server) buildArtifacts(tr *trace.Trace) (*setupArtifacts, time.Duration, error) {
+	start := time.Now()
+	analysis, err := core.Analyze(tr, &s.cfg.BaseConfig.Structure, &s.cfg.BaseConfig.Lat, s.cfg.AnalysisOpts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: analyzing trace: %w", err)
+	}
+	g, err := depgraph.Build(tr, &s.cfg.BaseConfig.Structure, 0, len(tr.Records))
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: building graph: %w", err)
+	}
+	return &setupArtifacts{analysis: analysis, graph: g}, time.Since(start), nil
+}
+
+// rankResults orders a sweep's results deterministically — ascending
+// cycles, original point index breaking ties — filters by the CPI target
+// when one is set, and truncates to the requested top count.
+func rankResults(spec *JobSpec, tr *trace.Trace, digest string, rep *dse.Report, setup time.Duration, cached bool) *JobResult {
+	results := rep.Results
+	uopsN := float64(len(tr.Records))
+	idx := make([]int, len(results))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := idx[i], idx[j]
+		if results[a].Cycles != results[b].Cycles {
+			return results[a].Cycles < results[b].Cycles
+		}
+		return a < b
+	})
+	meeting := 0
+	selected := idx
+	if spec.TargetCPI > 0 {
+		budget := spec.TargetCPI * uopsN
+		keep := selected[:0:0]
+		for _, i := range idx {
+			if results[i].Cycles <= budget {
+				keep = append(keep, i)
+			}
+		}
+		meeting = len(keep)
+		selected = keep
+	}
+	if len(selected) > spec.Top {
+		selected = selected[:spec.Top]
+	}
+	pts := make([]PointResult, len(selected))
+	for k, i := range selected {
+		lat := make(map[string]float64, len(spec.Space.Axes))
+		for _, ax := range spec.Space.Axes {
+			lat[ax.Event.String()] = results[i].Lat[ax.Event]
+		}
+		pts[k] = PointResult{Latencies: lat, Cycles: results[i].Cycles, CPI: results[i].Cycles / uopsN}
+	}
+	return &JobResult{
+		Engine:      spec.Engine,
+		TraceDigest: digest,
+		GridPoints:  len(results),
+		MicroOps:    len(tr.Records),
+		Meeting:     meeting,
+		SetupMS:     float64(setup) / float64(time.Millisecond),
+		SetupCached: cached,
+		SweepMS:     float64(rep.Wall) / float64(time.Millisecond),
+		Workers:     len(rep.Workers),
+		Points:      pts,
+	}
+}
+
+// --- job registry --------------------------------------------------------
+
+func (s *Server) register(job *Job) {
+	s.jobsMu.Lock()
+	s.jobs[job.ID] = job
+	s.jobsMu.Unlock()
+}
+
+func (s *Server) unregister(id string) {
+	s.jobsMu.Lock()
+	delete(s.jobs, id)
+	s.jobsMu.Unlock()
+}
+
+// retire enforces the finished-job retention bound.
+func (s *Server) retire(job *Job) {
+	s.jobsMu.Lock()
+	s.doneOrder = append(s.doneOrder, job.ID)
+	for len(s.doneOrder) > s.cfg.RetainedJobs {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+	s.jobsMu.Unlock()
+}
+
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// --- HTTP handlers -------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func errJSON(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.Limits.MaxBodyBytes))
+	if err != nil {
+		s.metrics.invalid.Add(1)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			errJSON(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		errJSON(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	spec, err := ParseJobRequest(body, s.cfg.Limits)
+	if err != nil {
+		s.metrics.invalid.Add(1)
+		errJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job := &Job{
+		ID:        fmt.Sprintf("job-%06d", s.seq.Add(1)),
+		Spec:      spec,
+		Submitted: time.Now(),
+		status:    JobQueued,
+	}
+
+	s.submitMu.RLock()
+	if s.draining.Load() {
+		s.submitMu.RUnlock()
+		errJSON(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.register(job)
+	select {
+	case s.queue <- job:
+		s.submitMu.RUnlock()
+		s.metrics.submitted.Add(1)
+		w.Header().Set("Location", "/jobs/"+job.ID)
+		writeJSON(w, http.StatusAccepted, job.view(false))
+	default:
+		s.submitMu.RUnlock()
+		s.unregister(job.ID)
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		errJSON(w, http.StatusTooManyRequests, "job queue is full (depth %d); retry later", cap(s.queue))
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		errJSON(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view(true))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.jobsMu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	s.jobsMu.Unlock()
+	sort.Strings(ids)
+	views := make([]jobView, 0, len(ids))
+	for _, id := range ids {
+		if job, ok := s.lookup(id); ok {
+			views = append(views, job.view(false))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"queue_depth": len(s.queue),
+		"workers":     s.cfg.Workers,
+	})
+}

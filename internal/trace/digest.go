@@ -1,0 +1,21 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Digest returns the SHA-256 digest, in lowercase hex, of the trace's
+// canonical binary encoding (the Write format). Two traces share a digest
+// exactly when Write would emit identical bytes, so the digest is a content
+// address for any artifact derived purely from the trace — the exploration
+// service keys its representative-stack and dependence-graph cache on it,
+// and cmd/rptrace prints it so CLI runs can be correlated with server cache
+// entries.
+func Digest(t *Trace) string {
+	h := sha256.New()
+	// Write only fails when the underlying writer does, and a hash.Hash
+	// never does.
+	_ = Write(h, t)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// TestDigestMatchesEncoding pins the digest to the canonical encoding: it
+// must equal the SHA-256 of exactly the bytes Write emits.
+func TestDigestMatchesEncoding(t *testing.T) {
+	tr := &Trace{Records: []Record{validRecord(0), validRecord(1), validRecord(2)}, Cycles: 12}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if got, want := Digest(tr), hex.EncodeToString(sum[:]); got != want {
+		t.Fatalf("Digest = %s, want sha256(Write bytes) = %s", got, want)
+	}
+}
+
+// TestDigestSensitivity checks the content-address property: equal traces
+// digest equally, and any observable change — a record field, the cycle
+// total, the record count — changes the digest.
+func TestDigestSensitivity(t *testing.T) {
+	mk := func() *Trace {
+		return &Trace{Records: []Record{validRecord(0), validRecord(1)}, Cycles: 8, Mispredicts: 1}
+	}
+	base := Digest(mk())
+	if base != Digest(mk()) {
+		t.Fatal("equal traces produced different digests")
+	}
+	if len(base) != 64 {
+		t.Fatalf("digest %q is not 64 hex chars", base)
+	}
+
+	mutations := map[string]func(*Trace){
+		"cycles":      func(tr *Trace) { tr.Cycles++ },
+		"mispredicts": func(tr *Trace) { tr.Mispredicts++ },
+		"record-addr": func(tr *Trace) { tr.Records[1].Addr ^= 0x40 },
+		"record-dep":  func(tr *Trace) { tr.Records[1].SrcDep1 = 0 },
+		"timestamp":   func(tr *Trace) { tr.Records[0].T[SCommit]++ },
+		"truncated":   func(tr *Trace) { tr.Records = tr.Records[:1] },
+	}
+	for name, mutate := range mutations {
+		tr := mk()
+		mutate(tr)
+		if Digest(tr) == base {
+			t.Errorf("%s: mutation did not change the digest", name)
+		}
+	}
+}
