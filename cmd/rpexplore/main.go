@@ -6,7 +6,13 @@
 //
 //	rpexplore -app 416.gamess -axis L1D=1,2,3,4 -axis FpAdd=2,4,6 \
 //	          [-method rpstacks|graph|sim] [-target 0.55] [-top 10] [-n 60000] \
-//	          [-parallelism 8] [-chunk 64]
+//	          [-parallelism 8] [-chunk 64] [-checkpoint sweep.ckpt/]
+//
+// With -checkpoint, every completed chunk of design points is persisted
+// atomically under the given directory: a killed sweep re-run with the same
+// flags resumes where it stopped and returns results identical to an
+// uninterrupted run. A directory written by a different sweep (other
+// method, workload or axes) is rejected.
 package main
 
 import (
@@ -53,6 +59,7 @@ func main() {
 	n := flag.Int("n", 60000, "measured µops")
 	par := flag.Int("parallelism", runtime.GOMAXPROCS(0), "sweep workers (1: serial)")
 	chunk := flag.Int("chunk", 0, "design points per work unit (0: automatic)")
+	checkpoint := flag.String("checkpoint", "", "directory for crash-safe sweep resume (empty: off)")
 	flag.Var(&axes, "axis", "latency axis, e.g. L1D=1,2,3,4 (repeatable)")
 	flag.Parse()
 
@@ -73,13 +80,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk); err != nil {
+	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk, *checkpoint); err != nil {
 		fmt.Fprintln(os.Stderr, "rpexplore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, axes axisFlags, method string, target float64, top, n, par, chunk int) error {
+func run(app string, axes axisFlags, method string, target float64, top, n, par, chunk int, checkpoint string) error {
 	if len(axes) == 0 {
 		axes = axisFlags{
 			{Event: stacks.L1D, Values: []float64{1, 2, 3, 4}},
@@ -98,6 +105,9 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 	}
 	points := sp.Enumerate(r.Cfg.Lat)
 	opts := dse.ExploreOptions{Parallelism: par, ChunkSize: chunk, Setup: a.SimTime + a.AnalyzeTime}
+	if checkpoint != "" {
+		opts.Checkpoint = &dse.Checkpoint{Dir: checkpoint}
+	}
 	workers := max(par, 1)
 	if workers > len(points) {
 		workers = len(points) // the sweep never runs more workers than points
@@ -124,6 +134,9 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 		return err
 	}
 	elapsed := rep.Wall
+	if rep.Resumed > 0 {
+		fmt.Printf("checkpoint: resumed %d of %d points from %s\n", rep.Resumed, len(points), checkpoint)
+	}
 
 	uops := float64(len(a.Trace.Records))
 	results := rep.Results

@@ -6,7 +6,14 @@
 // Usage:
 //
 //	rpserved [-addr :8321] [-workers 4] [-queue 64] [-parallelism 8] \
-//	         [-cache 32] [-max-grid 1048576] [-timeout 2m] [-drain 30s]
+//	         [-cache 32] [-max-grid 1048576] [-timeout 2m] [-drain 30s] \
+//	         [-store-dir /var/lib/rpserved] [-store-max-bytes 1073741824]
+//
+// With -store-dir set, the simulate/analyze artifacts are also published to
+// an on-disk content-addressed store: a restarted rpserved warm-starts from
+// the directory and serves disk hits for every trace it has ever analyzed,
+// instead of re-simulating. -store-max-bytes bounds the directory with LRU
+// eviction (0 = unbounded).
 //
 // Endpoints:
 //
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -41,15 +49,17 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-job deadline")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "largest per-job deadline a request may ask for")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace for in-flight jobs")
+	storeDir := flag.String("store-dir", "", "directory for the durable artifact store (empty: memory-only)")
+	storeMax := flag.Int64("store-max-bytes", 0, "LRU bound on durable store payload bytes (0: unbounded)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *par, *cacheEntries, *maxGrid, *timeout, *maxTimeout, *drain); err != nil {
+	if err := run(*addr, *workers, *queue, *par, *cacheEntries, *maxGrid, *timeout, *maxTimeout, *drain, *storeDir, *storeMax); err != nil {
 		fmt.Fprintf(os.Stderr, "rpserved: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, maxTimeout, drain time.Duration) error {
+func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, maxTimeout, drain time.Duration, storeDir string, storeMax int64) error {
 	if workers < 1 {
 		return fmt.Errorf("-workers must be at least 1, got %d", workers)
 	}
@@ -70,12 +80,25 @@ func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, m
 		lim.MaxTimeout = maxTimeout
 	}
 
+	var durable *store.Store
+	if storeDir != "" {
+		var err error
+		durable, err = store.Open(storeDir, store.Options{MaxBytes: storeMax})
+		if err != nil {
+			return fmt.Errorf("opening artifact store: %w", err)
+		}
+		st := durable.Stats()
+		fmt.Printf("rpserved: artifact store %s warm-started with %d entries (%d bytes)\n",
+			storeDir, st.Entries, st.Bytes)
+	}
+
 	svc := serve.New(serve.Config{
 		QueueDepth:       queue,
 		Workers:          workers,
 		SweepParallelism: par,
 		CacheEntries:     cacheEntries,
 		Limits:           lim,
+		Store:            durable,
 	})
 	httpSrv := &http.Server{Addr: addr, Handler: svc}
 

@@ -1,0 +1,214 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Corner-case timing tests: tiny crafted traces whose cycle-exact behaviour
+// can be derived by hand from the Table II latencies, pinned to exact cycle
+// counts. The simulator is deterministic, so any change to these numbers is
+// a real timing-model change and should be reviewed as one.
+//
+// Shared arithmetic for the crafted loads (baseline config unless a case
+// overrides it):
+//
+//   - Cold first instruction fetch: ITLB miss (20) + MemI (133) = 153, so
+//     the first fetch group enters the fetch buffer at cycle 153, renames
+//     at 158 (front-end depth behind the buffer), dispatches at 159 and
+//     issues from 162.
+//   - A data load missing to memory completes MemD (133) cycles after
+//     issue and commits the cycle after; the trace's cycle count is the
+//     last commit cycle.
+//   - Loads are warmed through another line of the same page (0x50FC0), so
+//     every crafted load is a DTLB hit and pure cache-miss timing remains.
+
+// cornerCase is one pinned scenario.
+type cornerCase struct {
+	name       string
+	tune       func(*config.Config)
+	program    func() []isa.MicroOp
+	warmData   []uint64
+	warmCode   []uint64
+	wantCycles int64
+	check      func(t *testing.T, tr *trace.Trace)
+}
+
+// missLoads builds n independent loads to n distinct cold lines of one page.
+func missLoads(n int) []isa.MicroOp {
+	c := &craft{}
+	for i := 0; i < n; i++ {
+		c.add(isa.MicroOp{Class: isa.Load, Dest: 3 + i, Src1: isa.RegNone, Src2: isa.RegNone,
+			Addr: uint64(0x50000 + i*64)})
+	}
+	return c.uops
+}
+
+// coldLineALUs builds n independent ALU µops, each on its own cold code line.
+func coldLineALUs(n int) []isa.MicroOp {
+	c := &craft{}
+	for i := 0; i < n; i++ {
+		u := isa.MicroOp{Class: isa.IntAlu, Dest: 3, Src1: isa.RegNone, Src2: isa.RegNone}
+		u.PC = uint64(0x400000 + i*64)
+		c.add(u)
+	}
+	return c.uops
+}
+
+func issueCycles(tr *trace.Trace) []int64 {
+	out := make([]int64, len(tr.Records))
+	for i := range tr.Records {
+		out[i] = tr.Records[i].T[trace.SIssue]
+	}
+	return out
+}
+
+func TestCornerCaseTiming(t *testing.T) {
+	samePage := []uint64{0x50FC0}
+	cases := []cornerCase{
+		{
+			// Three independent memory-missing loads, eight MSHRs: all three
+			// fills overlap. Issues at 162/162/163 (two load units), the
+			// third completes at 163+133 = 296, commits 297; total 297.
+			name:       "mshr-overlap",
+			program:    func() []isa.MicroOp { return missLoads(3) },
+			warmData:   samePage,
+			wantCycles: 297,
+			check: func(t *testing.T, tr *trace.Trace) {
+				want := []int64{162, 162, 163}
+				for i, w := range want {
+					if got := tr.Records[i].T[trace.SIssue]; got != w {
+						t.Errorf("load %d issued at %d, want %d (issues %v)", i, got, w, issueCycles(tr))
+					}
+					if by := tr.Records[i].MSHRFreeBy; by != trace.None {
+						t.Errorf("load %d records MSHR provider %d with free slots", i, by)
+					}
+				}
+			},
+		},
+		{
+			// The same three loads with a single MSHR: fills serialize. Load 1
+			// issues only when load 0's fill expires at 162+133 = 295 and
+			// completes at 428; load 2 issues at 428 and completes at 561,
+			// commits 562. The last commit slips from 296 to 561 — two
+			// fill serializations — so the total is 297 + (561-296) = 562.
+			name:       "mshr-saturation",
+			tune:       func(c *config.Config) { c.Structure.MSHRs = 1 },
+			program:    func() []isa.MicroOp { return missLoads(3) },
+			warmData:   samePage,
+			wantCycles: 562,
+			check: func(t *testing.T, tr *trace.Trace) {
+				wantIssue := []int64{162, 295, 428}
+				for i, w := range wantIssue {
+					if got := tr.Records[i].T[trace.SIssue]; got != w {
+						t.Errorf("load %d issued at %d, want %d (issues %v)", i, got, w, issueCycles(tr))
+					}
+				}
+				// The blocked loads must record the MSHR-dependency edge on
+				// the fill that freed their slot.
+				if by := tr.Records[1].MSHRFreeBy; by != 0 {
+					t.Errorf("load 1 MSHRFreeBy = %d, want 0", by)
+				}
+				if by := tr.Records[2].MSHRFreeBy; by != 1 {
+					t.Errorf("load 2 MSHRFreeBy = %d, want 1", by)
+				}
+			},
+		},
+		{
+			// Five missing loads, roomy LSQ: loads 0-3 issue in two pairs on
+			// the two load units (162/162/163/163), load 4 fetches a cycle
+			// later, issues at 164 and commits at 298.
+			name:       "lsq-roomy",
+			program:    func() []isa.MicroOp { return missLoads(5) },
+			warmData:   samePage,
+			wantCycles: 298,
+		},
+		{
+			// The same five loads with a two-entry LSQ: dispatch gates in
+			// pairs. Loads 0-1 hold both slots until they commit at 296, so
+			// loads 2-3 dispatch at 297 (issue 300, complete 433, commit
+			// 434), and load 4 dispatches at 435 (issue 438, complete 571,
+			// commit 572). Each LSQ generation costs a full memory round
+			// trip: 298 + 137 + 137 = 572.
+			name:       "lsq-full",
+			tune:       func(c *config.Config) { c.Structure.LSQSize = 2 },
+			program:    func() []isa.MicroOp { return missLoads(5) },
+			warmData:   samePage,
+			wantCycles: 572,
+			check: func(t *testing.T, tr *trace.Trace) {
+				wantDispatch := []int64{159, 159, 297, 297, 435}
+				for i, w := range wantDispatch {
+					if got := tr.Records[i].T[trace.SDispatch]; got != w {
+						t.Errorf("load %d dispatched at %d, want %d", i, got, w)
+					}
+				}
+			},
+		},
+		{
+			// Six one-cycle ALU µops, each on its own cold code line: after
+			// the first line's ITLB+MemI fetch (153), every further line is
+			// its own MemI miss, so the fetch buffer drains and the back end
+			// sits idle 133 cycles per line. Fetch leaders at 0, 153, 286,
+			// 419, 552, 685; the last line arrives at 818, renames at 823
+			// and commits at 827: 153 + 5×133 + a 9-cycle pipeline tail.
+			name:       "fetch-buffer-empty",
+			program:    func() []isa.MicroOp { return coldLineALUs(6) },
+			wantCycles: 827,
+			check: func(t *testing.T, tr *trace.Trace) {
+				wantFetch := []int64{0, 153, 286, 419, 552, 685}
+				for i, w := range wantFetch {
+					if got := tr.Records[i].T[trace.SFetch]; got != w {
+						t.Errorf("µop %d fetched at %d, want %d", i, got, w)
+					}
+					if !tr.Records[i].NewFetchLine {
+						t.Errorf("µop %d is not a fetch-line leader", i)
+					}
+				}
+			},
+		},
+		{
+			// The same six µops with every code line warmed: the front end
+			// streams 4-wide from cycle 0 and the whole trace retires in 10
+			// cycles — the contrast that isolates the fetch bubbles above.
+			name:       "fetch-buffer-warm",
+			program:    func() []isa.MicroOp { return coldLineALUs(6) },
+			warmCode:   []uint64{0x400000, 0x400040, 0x400080, 0x4000C0, 0x400100, 0x400140},
+			wantCycles: 10,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := config.Baseline()
+			if tc.tune != nil {
+				tc.tune(cfg)
+			}
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.warmData != nil {
+				s.WarmData(tc.warmData)
+			}
+			if tc.warmCode != nil {
+				s.WarmCode(tc.warmCode)
+			}
+			tr, err := s.Run(tc.program())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Cycles != tc.wantCycles {
+				t.Errorf("cycles = %d, want %d (issues %v)", tr.Cycles, tc.wantCycles, issueCycles(tr))
+			}
+			if tc.check != nil {
+				tc.check(t, tr)
+			}
+		})
+	}
+}

@@ -749,7 +749,11 @@ func (s *Sim) loadMayIssue(i int, c int64) bool {
 		if f.complete > c {
 			active++
 		} else {
-			if f.complete > s.lastExpiredDone {
+			// Tie-break equal completion times by µop sequence so the
+			// recorded provider does not depend on map iteration order —
+			// the trace must be bit-identical across runs.
+			if f.complete > s.lastExpiredDone ||
+				(f.complete == s.lastExpiredDone && int64(f.seq) > s.lastExpiredSeq) {
 				s.lastExpiredDone = f.complete
 				s.lastExpiredSeq = int64(f.seq)
 			}

@@ -1,0 +1,48 @@
+package depgraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+// WriteFingerprint streams a canonical byte rendering of the graph's
+// structure — window, evaluation order, and every edge with its event
+// weights — into w. Two graphs produce the same bytes iff Build produced
+// the same structure, so hashing this stream identifies the graph for
+// checkpoint binding (dse.ExploreOptions.Checkpoint) without serializing
+// the graph itself.
+func (g *Graph) WriteFingerprint(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := put(uint64(g.Lo)); err != nil {
+		return err
+	}
+	if err := put(uint64(g.Hi)); err != nil {
+		return err
+	}
+	for _, id := range g.evalOrder {
+		if err := put(uint64(id)); err != nil {
+			return err
+		}
+		for _, e := range g.In(id) {
+			if err := put(uint64(e.From)); err != nil {
+				return err
+			}
+			for _, p := range e.W {
+				if err := put(uint64(p.Ev)); err != nil {
+					return err
+				}
+				if err := put(uint64(p.N)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

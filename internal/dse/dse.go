@@ -6,7 +6,10 @@
 package dse
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"repro/internal/config"
@@ -120,6 +123,11 @@ type Report struct {
 	// Workers holds per-worker busy time and point counts (one entry per
 	// worker that ran; a serial sweep has exactly one).
 	Workers []WorkerTiming
+	// Resumed is the number of design points restored from a checkpoint
+	// instead of being evaluated (zero without ExploreOptions.Checkpoint).
+	// PerPoint still divides the loop wall-clock by the full point count, so
+	// a heavily resumed sweep reports an optimistic per-point cost.
+	Resumed int
 }
 
 // Total returns the wall-clock cost of exploring n points with this
@@ -137,6 +145,78 @@ func (r *Report) finish(wall time.Duration, workers []WorkerTiming) {
 	}
 }
 
+// runPoints is the engines' shared sweep driver. Without a checkpoint it
+// runs the plain chunked sweep. With one, it fingerprints the sweep (method
+// + the engine input streamed by salt + the point list), restores persisted
+// chunks, evaluates only the pending points, and publishes each completed
+// chunk atomically — crash-safe at chunk granularity. eval(worker, i)
+// returns point i's cycle count; salt may be nil for engines whose output
+// is determined by the point list alone.
+func runPoints(rep *Report, points []stacks.Latencies, opts ExploreOptions, salt func(io.Writer) error, eval func(worker, i int) (float64, error)) error {
+	results := rep.Results
+	if opts.Checkpoint == nil {
+		wall, workers, err := sweep(len(points), opts, func(worker, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				c, err := eval(worker, i)
+				if err != nil {
+					return err
+				}
+				results[i] = Result{Lat: points[i], Cycles: c}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		rep.finish(wall, workers)
+		return nil
+	}
+
+	dir := opts.Checkpoint.Dir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dse: creating checkpoint dir: %w", err)
+	}
+	fp, err := sweepFingerprint(rep.Method, salt, points)
+	if err != nil {
+		return err
+	}
+	done := make([]bool, len(points))
+	restored, err := loadChunks(dir, fp, results, done)
+	if err != nil {
+		return err
+	}
+	rep.Resumed = restored
+	pending := make([]int, 0, len(points)-restored)
+	for i, d := range done {
+		if d {
+			results[i].Lat = points[i]
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	// The sweep walks pending-index space; chunk files are disjoint across
+	// resumes because a restored point never becomes pending again.
+	wall, workers, err := sweep(len(pending), opts, func(worker, lo, hi int) error {
+		if lo == hi {
+			return nil // fully resumed sweep: nothing to evaluate or publish
+		}
+		for k := lo; k < hi; k++ {
+			i := pending[k]
+			c, err := eval(worker, i)
+			if err != nil {
+				return err
+			}
+			results[i] = Result{Lat: points[i], Cycles: c}
+		}
+		return saveChunk(dir, fp, pending[lo:hi], results)
+	})
+	if err != nil {
+		return err
+	}
+	rep.finish(wall, workers)
+	return nil
+}
+
 // ExploreSim measures every design point by re-running the timing
 // simulator: the ground truth, and the cost yardstick of Figure 13.
 // It is the serial form of ExploreSimOpts.
@@ -150,27 +230,35 @@ func ExploreSim(cfg *config.Config, uops []isa.MicroOp, points []stacks.Latencie
 // its Results are identical to the serial sweep's.
 func ExploreSimOpts(cfg *config.Config, uops []isa.MicroOp, points []stacks.Latencies, opts ExploreOptions) (*Report, error) {
 	rep := &Report{Method: "simulator", Results: make([]Result, len(points)), Setup: opts.Setup}
-	results := rep.Results
-	wall, workers, err := sweep(len(points), opts, func(_, lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			c := cfg.Clone()
-			c.Lat = points[i]
-			s, err := cpu.New(c)
-			if err != nil {
-				return err
-			}
-			tr, err := s.Run(uops)
-			if err != nil {
-				return err
-			}
-			results[i] = Result{Lat: points[i], Cycles: float64(tr.Cycles)}
+	salt := func(w io.Writer) error {
+		// The simulator's output is determined by the structural config and
+		// the µop stream (per-point latencies come from the point list).
+		cj, err := json.Marshal(cfg)
+		if err != nil {
+			return err
 		}
-		return nil
+		if _, err := w.Write(cj); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%v", uops)
+		return err
+	}
+	err := runPoints(rep, points, opts, salt, func(_, i int) (float64, error) {
+		c := cfg.Clone()
+		c.Lat = points[i]
+		s, err := cpu.New(c)
+		if err != nil {
+			return 0, err
+		}
+		tr, err := s.Run(uops)
+		if err != nil {
+			return 0, err
+		}
+		return float64(tr.Cycles), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	rep.finish(wall, workers)
 	return rep, nil
 }
 
@@ -193,23 +281,17 @@ func ExploreGraph(g *depgraph.Graph, points []stacks.Latencies) *Report {
 // cancellation error, checked between chunks.
 func ExploreGraphOpts(g *depgraph.Graph, points []stacks.Latencies, opts ExploreOptions) (*Report, error) {
 	rep := &Report{Method: "graph", Results: make([]Result, len(points)), Setup: opts.Setup}
-	results := rep.Results
 	nw := opts.workerCount(len(points))
 	evals := make([]*depgraph.Evaluator, nw)
 	for i := range evals {
 		evals[i] = g.NewEvaluator()
 	}
-	wall, workers, err := sweep(len(points), opts, func(worker, lo, hi int) error {
-		ev := evals[worker]
-		for i := lo; i < hi; i++ {
-			results[i] = Result{Lat: points[i], Cycles: float64(ev.LongestPath(&points[i]))}
-		}
-		return nil
+	err := runPoints(rep, points, opts, g.WriteFingerprint, func(worker, i int) (float64, error) {
+		return float64(evals[worker].LongestPath(&points[i])), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	rep.finish(wall, workers)
 	return rep, nil
 }
 
@@ -231,17 +313,13 @@ func ExploreRpStacks(a *core.Analysis, points []stacks.Latencies) *Report {
 // cancellation error, checked between chunks.
 func ExploreRpStacksOpts(a *core.Analysis, points []stacks.Latencies, opts ExploreOptions) (*Report, error) {
 	rep := &Report{Method: "rpstacks", Results: make([]Result, len(points)), Setup: opts.Setup}
-	results := rep.Results
-	wall, workers, err := sweep(len(points), opts, func(_, lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			results[i] = Result{Lat: points[i], Cycles: a.Predict(&points[i])}
-		}
-		return nil
+	salt := func(w io.Writer) error { return core.WriteAnalysis(w, a) }
+	err := runPoints(rep, points, opts, salt, func(_, i int) (float64, error) {
+		return a.Predict(&points[i]), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	rep.finish(wall, workers)
 	return rep, nil
 }
 

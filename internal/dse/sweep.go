@@ -32,6 +32,15 @@ type ExploreOptions struct {
 	// A nil Context never cancels and keeps the serial fast path free of
 	// per-chunk checks.
 	Context context.Context
+	// Checkpoint, when non-nil, makes the sweep crash-safe: every completed
+	// chunk of design points is atomically persisted under Checkpoint.Dir,
+	// and a sweep started over a directory holding chunks restores them —
+	// skipping their points entirely — before evaluating the rest. The
+	// resumed sweep's Results are identical to an uninterrupted run's; a
+	// directory written by a different sweep (engine, inputs or point list)
+	// is rejected with an error rather than mixed in. Nil keeps the engines'
+	// historical zero-IO behavior.
+	Checkpoint *Checkpoint
 }
 
 // workerCount returns the number of workers a sweep over n points will use.

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden-file regression tests for the figure experiments. The simulator is
+// deterministic, so the goldens pin exact model outputs (cycle counts, CPIs,
+// stack decompositions, census counts) — any behavioural drift in the
+// simulator, analysis, baselines or dse engines shows up as a byte diff
+// against testdata/*.golden. Wall-clock-derived numbers never enter a golden
+// (see golden.go). Regenerate after an intentional model change with
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// and review the diff like any other code change.
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// checkGolden compares v's indented-JSON rendering against the named golden
+// file, rewriting the file instead when -update is set.
+func checkGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from its golden file.\n%s\nRegenerate with -update if the change is intentional.",
+			name, goldenDiff(want, got))
+	}
+}
+
+// goldenDiff renders the first divergent region of want vs got, line-aligned,
+// so a failure message shows the drifted field rather than two full JSON
+// blobs.
+func goldenDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d, got %d", len(wl), len(gl))
+}
+
+// TestGoldenFig2b pins Figure 2's deterministic substrate for the workload
+// the paper's panel uses.
+func TestGoldenFig2b(t *testing.T) {
+	g, err := testRunner().Fig2bGoldenView("416.gamess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.GridPoints != 960 {
+		t.Fatalf("fig13 grid has %d points, want 960", g.GridPoints)
+	}
+	checkGolden(t, "fig2b_416.gamess.golden", g)
+}
+
+// TestGoldenFig6 pins Figure 6's deterministic substrate for both of the
+// paper's panels (6a: 416.gamess, 6b: 437.leslie3d).
+func TestGoldenFig6(t *testing.T) {
+	r := testRunner()
+	for _, name := range []string{"416.gamess", "437.leslie3d"} {
+		t.Run(name, func(t *testing.T) {
+			g, err := r.Fig6GoldenView(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.MeetTarget < 0 || g.MeetTarget > g.Space {
+				t.Fatalf("MeetTarget %d outside space of %d points", g.MeetTarget, g.Space)
+			}
+			checkGolden(t, "fig6_"+name+".golden", g)
+		})
+	}
+}
+
+// TestGoldenFig13 pins both prediction engines' raw outputs over the Figure
+// 13 grid for a float-heavy and a memory-bound workload.
+func TestGoldenFig13(t *testing.T) {
+	g, err := testRunner().Fig13GoldenView([]string{"416.gamess", "429.mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig13.golden", g)
+}

@@ -1,0 +1,75 @@
+package cache
+
+import (
+	"testing"
+	"time"
+)
+
+// Allocation budgets for the request hot path. Every artifact request the
+// service serves from memory goes through these two calls, so their per-hit
+// allocation cost is a direct term in request latency and GC pressure. The
+// budgets are pinned tight: a Cache hit allocates nothing, and a Tiered
+// memory hit pays at most the one flight closure it constructs.
+
+// snapshotGets reads the double's Get counter under its lock.
+func (m *memBlob) snapshotGets() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gets
+}
+
+// TestCacheHitAllocFree pins the single-tier hit path at zero allocations.
+func TestCacheHitAllocFree(t *testing.T) {
+	c := New[int](4)
+	build := func() (int, time.Duration, error) { return 7, time.Millisecond, nil }
+	if _, _, err := c.GetOrCompute("k", build); err != nil {
+		t.Fatal(err)
+	}
+	var sink int
+	n := testing.AllocsPerRun(200, func() {
+		v, hit, err := c.GetOrCompute("k", build)
+		if err != nil || !hit {
+			t.Fatal("expected a clean hit")
+		}
+		sink += v
+	})
+	if n != 0 {
+		t.Errorf("memory hit allocates %.1f per call, want 0", n)
+	}
+	_ = sink
+}
+
+// TestTieredMemHitAllocBudget pins the two-tier memory-hit path. The tiered
+// wrapper builds one closure per call to thread the codec through the
+// flight; beyond that the hit must stay allocation-free, disk untouched.
+func TestTieredMemHitAllocBudget(t *testing.T) {
+	disk := newMemBlob()
+	tc := NewTiered[int](4, disk)
+	codec := Codec[int]{
+		Encode: func(v int) ([]byte, error) { return []byte{byte(v)}, nil },
+		Decode: func(b []byte) (int, error) { return int(b[0]), nil },
+	}
+	build := func() (int, time.Duration, error) { return 9, time.Millisecond, nil }
+	if _, _, err := tc.GetOrCompute("k", codec, build); err != nil {
+		t.Fatal(err)
+	}
+	diskGets := disk.snapshotGets()
+
+	var sink int
+	n := testing.AllocsPerRun(200, func() {
+		v, tier, err := tc.GetOrCompute("k", codec, build)
+		if err != nil || tier != TierMem {
+			t.Fatalf("expected a memory hit, got tier %v err %v", tier, err)
+		}
+		sink += v
+	})
+	// One closure for the flight body (it captures the codec, the build and
+	// the tier slot); anything more is a regression on the hot path.
+	if n > 2 {
+		t.Errorf("tiered memory hit allocates %.1f per call, want <= 2", n)
+	}
+	if disk.snapshotGets() != diskGets {
+		t.Error("memory hit consulted the disk tier")
+	}
+	_ = sink
+}

@@ -1,0 +1,136 @@
+package cache
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// tiered.go — the two-tier composition the service runs in production:
+// the in-memory single-flight table in front (fast, bounded, per-process)
+// and a durable byte store behind it (survives restarts). A key is looked
+// up memory-first; on a memory miss the flight's builder consults the disk
+// tier before paying the real build, and publishes what it built so the
+// next process finds it. Single-flight semantics are inherited from Cache:
+// disk reads, decodes and builds all happen at most once per key under
+// concurrency.
+
+// BlobStore is the durable tier: an opaque byte store keyed like the cache.
+// internal/store.Store implements it. Get reports the payload, the build
+// cost recorded at publication and whether the key was present; Delete
+// removes an entry whose payload decoded to garbage (codec drift), so it is
+// rebuilt rather than consulted forever.
+type BlobStore interface {
+	Get(key string) ([]byte, time.Duration, bool)
+	Put(key string, payload []byte, cost time.Duration) error
+	Delete(key string)
+}
+
+// Codec converts one cached value type to and from its durable byte form.
+// Codecs are supplied per call, not per cache, so Decode may close over
+// request context (e.g. rebuilding a dependence graph from the trace it
+// just decoded).
+type Codec[V any] struct {
+	Encode func(V) ([]byte, error)
+	Decode func([]byte) (V, error)
+}
+
+// Tier says which tier satisfied a request.
+type Tier int
+
+const (
+	// TierBuilt: the value was built (or the caller waited on the builder).
+	TierBuilt Tier = iota
+	// TierMem: served from a completed in-memory entry.
+	TierMem
+	// TierDisk: rebuilt-free from the durable store (this process had not
+	// seen the key, a previous one had).
+	TierDisk
+)
+
+// Tiered is a Cache backed by an optional BlobStore. With a nil store it
+// degrades to exactly the memory cache's behaviour.
+type Tiered[V any] struct {
+	mem  *Cache[V]
+	disk BlobStore
+
+	diskHits      atomic.Uint64
+	decodeErrors  atomic.Uint64
+	encodeErrors  atomic.Uint64
+	publishErrors atomic.Uint64
+}
+
+// NewTiered builds a two-tier cache: an in-memory single-flight table
+// holding up to capacity completed entries, backed by disk (nil for
+// memory-only).
+func NewTiered[V any](capacity int, disk BlobStore) *Tiered[V] {
+	return &Tiered[V]{mem: New[V](capacity), disk: disk}
+}
+
+// GetOrCompute returns the value for key, trying memory, then disk, then
+// build, and reports which tier satisfied the call. The disk consultation
+// and the build share the memory tier's single flight, so concurrent
+// requests for one key perform one disk read and at most one build between
+// them (joiners report TierBuilt: they waited the flight out). A disk
+// payload that fails to decode is deleted and counted, and the build runs
+// as if the key were absent; a build result that fails to encode or
+// publish is still returned to the caller — durability is best-effort,
+// correctness is not.
+func (t *Tiered[V]) GetOrCompute(key string, codec Codec[V], build func() (V, time.Duration, error)) (V, Tier, error) {
+	tier := TierBuilt
+	v, memHit, err := t.mem.GetOrCompute(key, func() (V, time.Duration, error) {
+		if t.disk != nil {
+			if blob, cost, ok := t.disk.Get(key); ok {
+				if dv, derr := codec.Decode(blob); derr == nil {
+					t.diskHits.Add(1)
+					tier = TierDisk
+					return dv, cost, nil
+				}
+				t.decodeErrors.Add(1)
+				t.disk.Delete(key)
+			}
+		}
+		v, cost, berr := build()
+		if berr == nil && t.disk != nil {
+			if blob, eerr := codec.Encode(v); eerr == nil {
+				if perr := t.disk.Put(key, blob, cost); perr != nil {
+					t.publishErrors.Add(1)
+				}
+			} else {
+				t.encodeErrors.Add(1)
+			}
+		}
+		return v, cost, berr
+	})
+	if memHit {
+		tier = TierMem
+	}
+	return v, tier, err
+}
+
+// Cached reports whether a tier means the caller skipped the build.
+func (tr Tier) Cached() bool { return tr == TierMem || tr == TierDisk }
+
+// TieredStats extends the memory tier's counters with the disk
+// interaction counters (the store keeps its own hit/miss/corruption
+// counters; these cover the codec boundary between the tiers).
+type TieredStats struct {
+	Memory        Stats
+	DiskHits      uint64
+	DecodeErrors  uint64
+	EncodeErrors  uint64
+	PublishErrors uint64
+}
+
+// Stats snapshots both tiers' counters.
+func (t *Tiered[V]) Stats() TieredStats {
+	return TieredStats{
+		Memory:        t.mem.Stats(),
+		DiskHits:      t.diskHits.Load(),
+		DecodeErrors:  t.decodeErrors.Load(),
+		EncodeErrors:  t.encodeErrors.Load(),
+		PublishErrors: t.publishErrors.Load(),
+	}
+}
+
+// Len returns the number of in-memory entries, including in-flight builds.
+func (t *Tiered[V]) Len() int { return t.mem.Len() }

@@ -1,0 +1,233 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memBlob is an in-memory BlobStore double with fault injection.
+type memBlob struct {
+	mu      sync.Mutex
+	data    map[string][]byte
+	costs   map[string]time.Duration
+	puts    int
+	gets    int
+	deletes int
+	putErr  error
+}
+
+func newMemBlob() *memBlob {
+	return &memBlob{data: make(map[string][]byte), costs: make(map[string]time.Duration)}
+}
+
+func (m *memBlob) Get(key string) ([]byte, time.Duration, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gets++
+	b, ok := m.data[key]
+	return b, m.costs[key], ok
+}
+
+func (m *memBlob) Put(key string, payload []byte, cost time.Duration) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.puts++
+	if m.putErr != nil {
+		return m.putErr
+	}
+	m.data[key] = payload
+	m.costs[key] = cost
+	return nil
+}
+
+func (m *memBlob) Delete(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deletes++
+	delete(m.data, key)
+	delete(m.costs, key)
+}
+
+// intCodec round-trips ints through decimal strings.
+var intCodec = Codec[int]{
+	Encode: func(v int) ([]byte, error) { return []byte(strconv.Itoa(v)), nil },
+	Decode: func(b []byte) (int, error) { return strconv.Atoi(string(b)) },
+}
+
+// TestTieredFallsThroughTiers walks one key through the three tiers:
+// build (publishing to disk), memory hit, and — after simulating a restart
+// by constructing a fresh Tiered over the same blob store — a disk hit
+// with the original build cost counted as saved.
+func TestTieredFallsThroughTiers(t *testing.T) {
+	disk := newMemBlob()
+	tc := NewTiered[int](4, disk)
+	builds := 0
+	build := func() (int, time.Duration, error) { builds++; return 42, time.Second, nil }
+
+	v, tier, err := tc.GetOrCompute("k", intCodec, build)
+	if err != nil || v != 42 || tier != TierBuilt {
+		t.Fatalf("first call = %d, %v, %v; want built 42", v, tier, err)
+	}
+	if disk.puts != 1 {
+		t.Fatalf("build published %d times, want 1", disk.puts)
+	}
+	v, tier, err = tc.GetOrCompute("k", intCodec, build)
+	if err != nil || v != 42 || tier != TierMem {
+		t.Fatalf("second call = %d, %v, %v; want memory hit", v, tier, err)
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+
+	restarted := NewTiered[int](4, disk)
+	v, tier, err = restarted.GetOrCompute("k", intCodec, build)
+	if err != nil || v != 42 || tier != TierDisk {
+		t.Fatalf("post-restart call = %d, %v, %v; want disk hit", v, tier, err)
+	}
+	if builds != 1 {
+		t.Fatalf("restart re-built: %d builds", builds)
+	}
+	if !tier.Cached() {
+		t.Fatal("disk tier not reported as cached")
+	}
+	// A disk hit lands in memory: the next read never touches the store.
+	gets := disk.gets
+	if _, tier, _ = restarted.GetOrCompute("k", intCodec, build); tier != TierMem {
+		t.Fatalf("after disk hit: tier %v, want memory", tier)
+	}
+	if disk.gets != gets {
+		t.Fatal("memory hit consulted the disk tier")
+	}
+}
+
+// TestTieredDecodeFailureRebuilds plants an undecodable disk payload: the
+// entry must be deleted, counted, and the build must run and re-publish.
+func TestTieredDecodeFailureRebuilds(t *testing.T) {
+	disk := newMemBlob()
+	disk.data["k"] = []byte("not a number")
+	tc := NewTiered[int](4, disk)
+	v, tier, err := tc.GetOrCompute("k", intCodec, func() (int, time.Duration, error) {
+		return 7, time.Second, nil
+	})
+	if err != nil || v != 7 || tier != TierBuilt {
+		t.Fatalf("call = %d, %v, %v; want rebuilt 7", v, tier, err)
+	}
+	st := tc.Stats()
+	if st.DecodeErrors != 1 || disk.deletes != 1 {
+		t.Fatalf("decode failure not handled: stats %+v, %d deletes", st, disk.deletes)
+	}
+	if string(disk.data["k"]) != "7" {
+		t.Fatalf("rebuilt value not republished: %q", disk.data["k"])
+	}
+}
+
+// TestTieredPublishFailureStillServes checks durability is best-effort: a
+// failing Put is counted but the built value is returned and cached in
+// memory.
+func TestTieredPublishFailureStillServes(t *testing.T) {
+	disk := newMemBlob()
+	disk.putErr = errors.New("disk full")
+	tc := NewTiered[int](4, disk)
+	v, tier, err := tc.GetOrCompute("k", intCodec, func() (int, time.Duration, error) {
+		return 9, time.Second, nil
+	})
+	if err != nil || v != 9 || tier != TierBuilt {
+		t.Fatalf("call = %d, %v, %v", v, tier, err)
+	}
+	if st := tc.Stats(); st.PublishErrors != 1 {
+		t.Fatalf("publish error not counted: %+v", st)
+	}
+	if _, tier, _ := tc.GetOrCompute("k", intCodec, nil); tier != TierMem {
+		t.Fatalf("value not in memory after failed publish: %v", tier)
+	}
+}
+
+// TestTieredEncodeFailureStillServes checks an unencodable value is served
+// and counted, not published.
+func TestTieredEncodeFailureStillServes(t *testing.T) {
+	disk := newMemBlob()
+	tc := NewTiered[int](4, disk)
+	badCodec := Codec[int]{
+		Encode: func(int) ([]byte, error) { return nil, errors.New("unencodable") },
+		Decode: intCodec.Decode,
+	}
+	v, tier, err := tc.GetOrCompute("k", badCodec, func() (int, time.Duration, error) {
+		return 5, time.Second, nil
+	})
+	if err != nil || v != 5 || tier != TierBuilt {
+		t.Fatalf("call = %d, %v, %v", v, tier, err)
+	}
+	if st := tc.Stats(); st.EncodeErrors != 1 || disk.puts != 0 {
+		t.Fatalf("encode failure not counted or value published anyway: %+v, %d puts", tc.Stats(), disk.puts)
+	}
+}
+
+// TestTieredNilDiskDegrades checks a nil store behaves exactly like the
+// memory cache.
+func TestTieredNilDiskDegrades(t *testing.T) {
+	tc := NewTiered[int](2, nil)
+	for i := 0; i < 2; i++ {
+		v, tier, err := tc.GetOrCompute("k", intCodec, func() (int, time.Duration, error) {
+			return 1, 0, nil
+		})
+		want := TierBuilt
+		if i == 1 {
+			want = TierMem
+		}
+		if err != nil || v != 1 || tier != want {
+			t.Fatalf("call %d = %d, %v, %v", i, v, tier, err)
+		}
+	}
+}
+
+// TestTieredBuildErrorNotPersisted checks failed builds poison nothing:
+// no disk write, no memory entry, and the error reaches every caller.
+func TestTieredBuildErrorNotPersisted(t *testing.T) {
+	disk := newMemBlob()
+	tc := NewTiered[int](4, disk)
+	boom := errors.New("boom")
+	if _, _, err := tc.GetOrCompute("k", intCodec, func() (int, time.Duration, error) {
+		return 0, 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if disk.puts != 0 || tc.Len() != 0 {
+		t.Fatalf("failed build left state: %d puts, %d entries", disk.puts, tc.Len())
+	}
+}
+
+// TestTieredSingleFlightSharesDiskRead checks concurrency deduplication
+// spans the disk tier: many concurrent callers for one cold key perform
+// one disk Get and zero builds when the store has the value.
+func TestTieredSingleFlightSharesDiskRead(t *testing.T) {
+	disk := newMemBlob()
+	disk.data["k"] = []byte("33")
+	disk.costs["k"] = time.Second
+	tc := NewTiered[int](4, disk)
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	vals := make([]int, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], _, errs[i] = tc.GetOrCompute("k", intCodec, func() (int, time.Duration, error) {
+				return 0, 0, fmt.Errorf("build must not run")
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil || vals[i] != 33 {
+			t.Fatalf("caller %d: %d, %v", i, vals[i], errs[i])
+		}
+	}
+	if disk.gets != 1 {
+		t.Fatalf("disk consulted %d times under single flight, want 1", disk.gets)
+	}
+}

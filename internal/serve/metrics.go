@@ -122,21 +122,50 @@ func (s *Server) writeMetrics(w io.Writer) {
 	var totalSaved time.Duration
 	for _, c := range []struct {
 		name string
-		st   cache.Stats
+		st   cache.TieredStats
 	}{
 		{"artifacts", s.artifacts.Stats()},
 		{"workloads", s.workloads.Stats()},
 	} {
-		st := c.st
+		st := c.st.Memory
 		line("rpserved_cache_hits_total{cache=%q} %d", c.name, st.Hits)
 		line("rpserved_cache_misses_total{cache=%q} %d", c.name, st.Misses)
 		line("rpserved_cache_evictions_total{cache=%q} %d", c.name, st.Evictions)
 		line("rpserved_cache_entries{cache=%q} %d", c.name, st.Entries)
+		line("rpserved_cache_disk_hits_total{cache=%q} %d", c.name, c.st.DiskHits)
+		line("rpserved_cache_codec_errors_total{cache=%q,kind=\"decode\"} %d", c.name, c.st.DecodeErrors)
+		line("rpserved_cache_codec_errors_total{cache=%q,kind=\"encode\"} %d", c.name, c.st.EncodeErrors)
+		line("rpserved_cache_codec_errors_total{cache=%q,kind=\"publish\"} %d", c.name, c.st.PublishErrors)
 		totalSaved += st.SavedSetup
 	}
 	line("# HELP rpserved_setup_saved_seconds_total Setup time cache hits avoided re-paying.")
 	line("# TYPE rpserved_setup_saved_seconds_total counter")
 	line("rpserved_setup_saved_seconds_total %s", fmtFloat(totalSaved.Seconds()))
+
+	if s.store != nil {
+		st := s.store.Stats()
+		line("# HELP rpserved_store_hits_total Durable-store reads served with a verified payload.")
+		line("# TYPE rpserved_store_hits_total counter")
+		line("rpserved_store_hits_total %d", st.Hits)
+		line("# HELP rpserved_store_misses_total Durable-store reads for absent keys.")
+		line("# TYPE rpserved_store_misses_total counter")
+		line("rpserved_store_misses_total %d", st.Misses)
+		line("# HELP rpserved_store_corruptions_total Entries dropped for checksum, size or manifest damage.")
+		line("# TYPE rpserved_store_corruptions_total counter")
+		line("rpserved_store_corruptions_total %d", st.Corruptions)
+		line("# HELP rpserved_store_evictions_total Entries evicted by the capacity GC.")
+		line("# TYPE rpserved_store_evictions_total counter")
+		line("rpserved_store_evictions_total %d", st.Evictions)
+		line("# HELP rpserved_store_entries Entries currently published on disk.")
+		line("# TYPE rpserved_store_entries gauge")
+		line("rpserved_store_entries %d", st.Entries)
+		line("# HELP rpserved_store_bytes Payload bytes currently published on disk.")
+		line("# TYPE rpserved_store_bytes gauge")
+		line("rpserved_store_bytes %d", st.Bytes)
+		line("# HELP rpserved_store_setup_saved_seconds_total Build cost durable hits avoided re-paying, across restarts.")
+		line("# TYPE rpserved_store_setup_saved_seconds_total counter")
+		line("rpserved_store_setup_saved_seconds_total %s", fmtFloat(st.SavedSetup.Seconds()))
+	}
 
 	line("# HELP rpserved_sweep_duration_seconds Per-engine design-space sweep wall-clock.")
 	line("# TYPE rpserved_sweep_duration_seconds histogram")

@@ -20,6 +20,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/json"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/isa"
 	"repro/internal/serve/cache"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -67,6 +69,11 @@ type Config struct {
 	// AnalysisOpts are the RpStacks execution parameters (zero:
 	// core.DefaultOptions).
 	AnalysisOpts core.Options
+	// Store, when non-nil, is the durable artifact tier: traces and analyses
+	// are published to it and restarts of the service warm-start from it.
+	// The caller owns opening (store.Open) and thereby chooses directory and
+	// capacity bound. Nil runs memory-only, exactly the pre-store behavior.
+	Store *store.Store
 }
 
 // Server is the exploration service. Create with New, expose as an
@@ -76,8 +83,9 @@ type Server struct {
 	mux *http.ServeMux
 
 	metrics   *metrics
-	workloads *cache.Cache[*workloadArtifacts]
-	artifacts *cache.Cache[*setupArtifacts]
+	store     *store.Store
+	workloads *cache.Tiered[*workloadArtifacts]
+	artifacts *cache.Tiered[*setupArtifacts]
 
 	queue    chan *Job
 	wg       sync.WaitGroup
@@ -101,6 +109,11 @@ type Server struct {
 	// analysis options into every artifact cache key, so artifacts are
 	// shared only between jobs that would build identical ones.
 	setupPrint string
+	// cfgPrint fingerprints the machine configuration alone. Workload traces
+	// depend on the machine but not the analysis options, so they are keyed
+	// by this narrower print — two processes differing only in analysis
+	// options still share simulated traces through the durable tier.
+	cfgPrint string
 
 	// beforeJob, when non-nil, runs on the worker goroutine before each
 	// job. Tests use it to hold workers busy deterministically.
@@ -148,11 +161,18 @@ func New(cfg Config) *Server {
 		cfg.AnalysisOpts = core.DefaultOptions()
 	}
 
+	// A nil *store.Store must stay a nil interface, or the tiers would call
+	// methods on it.
+	var blob cache.BlobStore
+	if cfg.Store != nil {
+		blob = cfg.Store
+	}
 	s := &Server{
 		cfg:       cfg,
 		metrics:   newMetrics(),
-		workloads: cache.New[*workloadArtifacts](cfg.CacheEntries),
-		artifacts: cache.New[*setupArtifacts](cfg.CacheEntries),
+		store:     cfg.Store,
+		workloads: cache.NewTiered[*workloadArtifacts](cfg.CacheEntries, blob),
+		artifacts: cache.NewTiered[*setupArtifacts](cfg.CacheEntries, blob),
 		queue:     make(chan *Job, cfg.QueueDepth),
 		jobs:      make(map[string]*Job),
 	}
@@ -161,6 +181,8 @@ func New(cfg Config) *Server {
 	cfgJSON, _ := json.Marshal(cfg.BaseConfig)
 	print := sha256.Sum256(fmt.Appendf(cfgJSON, "|%+v", cfg.AnalysisOpts))
 	s.setupPrint = fmt.Sprintf("%x", print[:8])
+	cfgOnly := sha256.Sum256(cfgJSON)
+	s.cfgPrint = fmt.Sprintf("%x", cfgOnly[:8])
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -247,14 +269,15 @@ func (s *Server) execute(ctx context.Context, spec *JobSpec) (*JobResult, error)
 	tr, uops, digest := spec.Trace, []isa.MicroOp(nil), spec.TraceDigest
 	cached := true
 	if spec.Trace == nil {
-		wa, hit, err := s.workloads.GetOrCompute(workloadKey(spec), func() (*workloadArtifacts, time.Duration, error) {
-			return s.buildWorkload(spec)
-		})
+		wa, tier, err := s.workloads.GetOrCompute(s.workloadDiskKey(spec), s.workloadCodec(spec),
+			func() (*workloadArtifacts, time.Duration, error) {
+				return s.buildWorkload(spec)
+			})
 		if err != nil {
 			return nil, err
 		}
 		tr, uops, digest = wa.tr, wa.uops, wa.digest
-		cached = cached && hit
+		cached = cached && tier.Cached()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -263,15 +286,16 @@ func (s *Server) execute(ctx context.Context, spec *JobSpec) (*JobResult, error)
 	// Phase 2: the prediction engine, content-addressed by trace digest.
 	var art *setupArtifacts
 	if spec.Engine != "sim" {
-		var hit bool
+		var tier cache.Tier
 		var err error
-		art, hit, err = s.artifacts.GetOrCompute(digest+"|"+s.setupPrint, func() (*setupArtifacts, time.Duration, error) {
-			return s.buildArtifacts(tr)
-		})
+		art, tier, err = s.artifacts.GetOrCompute(digest+"|"+s.setupPrint, s.setupCodec(tr),
+			func() (*setupArtifacts, time.Duration, error) {
+				return s.buildArtifacts(tr)
+			})
 		if err != nil {
 			return nil, err
 		}
-		cached = cached && hit
+		cached = cached && tier.Cached()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -310,21 +334,42 @@ func workloadKey(spec *JobSpec) string {
 	return fmt.Sprintf("%s|seed=%d|n=%d", spec.Workload, spec.Seed, spec.MicroOps)
 }
 
-// buildWorkload simulates the named workload once: functional warmup over
-// 3x the measured length (snapped to a macro-op boundary), then the traced
-// region. The returned cost is what later cache hits avoid re-paying.
-func (s *Server) buildWorkload(spec *JobSpec) (*workloadArtifacts, time.Duration, error) {
+// workloadDiskKey is the workload key as published to the durable tier.
+// Unlike the per-process memory table, the store outlives configuration
+// changes, so the machine fingerprint is part of the key: a trace simulated
+// under one machine must never satisfy a request under another.
+func (s *Server) workloadDiskKey(spec *JobSpec) string {
+	return "w|" + s.cfgPrint + "|" + workloadKey(spec)
+}
+
+// measuredRegion regenerates a named workload's deterministic µop stream
+// and the warmup cut: 3x the measured length of functional warmup, snapped
+// forward to a macro-op boundary. Generation is cheap and bit-reproducible
+// from (profile, seed), which is what lets the durable tier persist only
+// the simulated trace.
+func measuredRegion(spec *JobSpec) (*workload.Generator, []isa.MicroOp, int, error) {
 	prof, ok := workload.ByName(spec.Workload)
 	if !ok {
-		return nil, 0, fmt.Errorf("serve: unknown workload %q", spec.Workload)
+		return nil, nil, 0, fmt.Errorf("serve: unknown workload %q", spec.Workload)
 	}
-	start := time.Now()
 	gen := workload.NewGenerator(prof, spec.Seed)
 	warm := 3 * spec.MicroOps
 	stream := gen.Take(warm + spec.MicroOps)
 	cut := warm
 	for cut < len(stream) && !stream[cut].SoM {
 		cut++
+	}
+	return gen, stream, cut, nil
+}
+
+// buildWorkload simulates the named workload once: functional warmup, then
+// the traced region. The returned cost is what later cache hits avoid
+// re-paying.
+func (s *Server) buildWorkload(spec *JobSpec) (*workloadArtifacts, time.Duration, error) {
+	start := time.Now()
+	gen, stream, cut, err := measuredRegion(spec)
+	if err != nil {
+		return nil, 0, err
 	}
 	sim, err := cpu.New(s.cfg.BaseConfig)
 	if err != nil {
@@ -339,6 +384,66 @@ func (s *Server) buildWorkload(spec *JobSpec) (*workloadArtifacts, time.Duration
 	}
 	wa := &workloadArtifacts{tr: tr, uops: stream[cut:], digest: trace.Digest(tr)}
 	return wa, time.Since(start), nil
+}
+
+// workloadCodec persists a simulated workload as its canonical trace
+// encoding. The µop stream is not stored: it regenerates bit-identically
+// from (profile, seed), so decode replays the cheap generation and pays
+// none of the simulation. The digest is recomputed from the decoded trace,
+// making a served artifact content-verified end to end.
+func (s *Server) workloadCodec(spec *JobSpec) cache.Codec[*workloadArtifacts] {
+	return cache.Codec[*workloadArtifacts]{
+		Encode: func(wa *workloadArtifacts) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := trace.Write(&buf, wa.tr); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+		Decode: func(raw []byte) (*workloadArtifacts, error) {
+			tr, err := trace.Read(bytes.NewReader(raw))
+			if err != nil {
+				return nil, err
+			}
+			_, stream, cut, err := measuredRegion(spec)
+			if err != nil {
+				return nil, err
+			}
+			uops := stream[cut:]
+			if len(tr.Records) != len(uops) {
+				return nil, fmt.Errorf("serve: stored trace has %d records, workload generates %d µops",
+					len(tr.Records), len(uops))
+			}
+			return &workloadArtifacts{tr: tr, uops: uops, digest: trace.Digest(tr)}, nil
+		},
+	}
+}
+
+// setupCodec persists the prediction engine as the analysis codec alone.
+// The dependence graph references trace records and is O(n) to rebuild, so
+// decode reconstructs it from the trace already in hand (phase 1) rather
+// than storing a second, larger artifact.
+func (s *Server) setupCodec(tr *trace.Trace) cache.Codec[*setupArtifacts] {
+	return cache.Codec[*setupArtifacts]{
+		Encode: func(art *setupArtifacts) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := core.WriteAnalysis(&buf, art.analysis); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+		Decode: func(raw []byte) (*setupArtifacts, error) {
+			analysis, err := core.ReadAnalysis(bytes.NewReader(raw))
+			if err != nil {
+				return nil, err
+			}
+			g, err := depgraph.Build(tr, &s.cfg.BaseConfig.Structure, 0, len(tr.Records))
+			if err != nil {
+				return nil, err
+			}
+			return &setupArtifacts{analysis: analysis, graph: g}, nil
+		},
+	}
 }
 
 // buildArtifacts runs the expensive one-time analysis of a trace: the

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzStoreManifest drives the manifest decoder with arbitrary bytes. The
+// decoder guards the store's trust boundary with the filesystem: a torn
+// write, bit rot or a hostile edit must come back as an error — never a
+// panic, never an entry set that does not round-trip, and never an
+// allocation proportional to a length field the checksum has not vouched
+// for.
+func FuzzStoreManifest(f *testing.F) {
+	// A healthy two-entry manifest.
+	var sum [32]byte
+	for i := range sum {
+		sum[i] = byte(i)
+	}
+	f.Add(encodeManifest([]entryMeta{
+		{Key: "sha256digest|fp", Sum: sum, Size: 4096, Cost: 3 * time.Second, LastUse: 9},
+		{Key: "w/416.gamess|seed=42", Sum: sum, Size: 1, Cost: time.Millisecond, LastUse: 2},
+	}))
+	f.Add(encodeManifest(nil)) // empty store
+	f.Add([]byte("RPSTOR"))    // header only, no checksum
+	f.Add([]byte("XXSTOR\x01\x00"))
+	// Huge declared entry count with no data behind it.
+	f.Add(append([]byte("RPSTOR\x01"), 0xff, 0xff, 0xff, 0xff, 0x7f))
+	// Valid magic+version, one entry with an oversized key length.
+	f.Add(append([]byte("RPSTOR\x01\x01"), 0xff, 0xff, 0x7f))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		entries, err := decodeManifest(raw)
+		if err != nil {
+			return // rejected input: the only other acceptable outcome
+		}
+		// Accepted input must round-trip through the canonical encoding.
+		re := encodeManifest(entries)
+		back, err := decodeManifest(re)
+		if err != nil {
+			t.Fatalf("canonical re-encoding failed to decode: %v", err)
+		}
+		if len(back) != len(entries) {
+			t.Fatalf("round trip changed entry count: %d != %d", len(back), len(entries))
+		}
+		for i := range entries {
+			if back[i] != entries[i] {
+				t.Fatalf("entry %d changed across round trip", i)
+			}
+		}
+		if !bytes.Equal(encodeManifest(back), re) {
+			t.Fatal("encoding is not canonical")
+		}
+	})
+}
