@@ -6,13 +6,19 @@
 //
 //	rpexplore -app 416.gamess -axis L1D=1,2,3,4 -axis FpAdd=2,4,6 \
 //	          [-method rpstacks|graph|sim] [-target 0.55] [-top 10] [-n 60000] \
-//	          [-parallelism 8] [-chunk 64] [-checkpoint sweep.ckpt/]
+//	          [-parallelism 8] [-chunk 64] [-checkpoint sweep.ckpt/] \
+//	          [-trace-out sweep.trace.json] [-progress]
 //
 // With -checkpoint, every completed chunk of design points is persisted
 // atomically under the given directory: a killed sweep re-run with the same
 // flags resumes where it stopped and returns results identical to an
 // uninterrupted run. A directory written by a different sweep (other
 // method, workload or axes) is rejected.
+//
+// With -trace-out, the sweep's span flight recorder is exported as Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. -progress prints a periodic points/sec + ETA line to
+// stderr, including how many chunks were restored from a checkpoint.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 
 	"repro/internal/dse"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/stacks"
 )
 
@@ -60,6 +67,8 @@ func main() {
 	par := flag.Int("parallelism", runtime.GOMAXPROCS(0), "sweep workers (1: serial)")
 	chunk := flag.Int("chunk", 0, "design points per work unit (0: automatic)")
 	checkpoint := flag.String("checkpoint", "", "directory for crash-safe sweep resume (empty: off)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the sweep to this file (empty: off)")
+	progress := flag.Bool("progress", false, "print a periodic progress line to stderr")
 	flag.Var(&axes, "axis", "latency axis, e.g. L1D=1,2,3,4 (repeatable)")
 	flag.Parse()
 
@@ -80,13 +89,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk, *checkpoint); err != nil {
+	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk, *checkpoint, *traceOut, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "rpexplore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, axes axisFlags, method string, target float64, top, n, par, chunk int, checkpoint string) error {
+func run(app string, axes axisFlags, method string, target float64, top, n, par, chunk int, checkpoint, traceOut string, progress bool) error {
 	if len(axes) == 0 {
 		axes = axisFlags{
 			{Event: stacks.L1D, Values: []float64{1, 2, 3, 4}},
@@ -107,6 +116,17 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 	opts := dse.ExploreOptions{Parallelism: par, ChunkSize: chunk, Setup: a.SimTime + a.AnalyzeTime}
 	if checkpoint != "" {
 		opts.Checkpoint = &dse.Checkpoint{Dir: checkpoint}
+	}
+	var prog *obs.Progress
+	if traceOut != "" || progress {
+		var topts []obs.Option
+		if progress {
+			prog = obs.NewProgress(os.Stderr, len(points), 0)
+			topts = append(topts, obs.WithOnEnd(prog.Observe))
+		}
+		// One span per chunk plus the root and any resume markers: sizing
+		// the ring to the point count can never drop a record.
+		opts.Tracer = obs.NewTracer(len(points)+16, topts...)
 	}
 	workers := max(par, 1)
 	if workers > len(points) {
@@ -132,6 +152,23 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 	}
 	if err != nil {
 		return err
+	}
+	if prog != nil {
+		prog.Flush()
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		if err := obs.WriteChromeTrace(f, opts.Tracer.Snapshot()); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s\n", traceOut)
 	}
 	elapsed := rep.Wall
 	if rep.Resumed > 0 {

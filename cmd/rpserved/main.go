@@ -7,7 +7,8 @@
 //
 //	rpserved [-addr :8321] [-workers 4] [-queue 64] [-parallelism 8] \
 //	         [-cache 32] [-max-grid 1048576] [-timeout 2m] [-drain 30s] \
-//	         [-store-dir /var/lib/rpserved] [-store-max-bytes 1073741824]
+//	         [-store-dir /var/lib/rpserved] [-store-max-bytes 1073741824] \
+//	         [-pprof-addr localhost:6060]
 //
 // With -store-dir set, the simulate/analyze artifacts are also published to
 // an on-disk content-addressed store: a restarted rpserved warm-starts from
@@ -17,18 +18,24 @@
 //
 // Endpoints:
 //
-//	POST /jobs      submit a job (JSON body; see internal/serve.JobRequest)
-//	GET  /jobs      list known jobs
-//	GET  /jobs/{id} poll one job, including its ranked results when done
-//	GET  /metrics   Prometheus text exposition
-//	GET  /healthz   liveness and queue state
+//	POST /jobs        submit a job (JSON body; see internal/serve.JobRequest)
+//	GET  /jobs        list known jobs
+//	GET  /jobs/{id}   poll one job, including its ranked results when done
+//	GET  /metrics     Prometheus text exposition
+//	GET  /healthz     liveness and queue state
+//	GET  /debug/trace per-job flight-recorder trace (?job=<id>&format=chrome|folded)
+//
+// With -pprof-addr set, net/http/pprof runtime profiling (CPU, heap,
+// goroutine, execution trace) is served on a separate listener.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -51,15 +58,16 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace for in-flight jobs")
 	storeDir := flag.String("store-dir", "", "directory for the durable artifact store (empty: memory-only)")
 	storeMax := flag.Int64("store-max-bytes", 0, "LRU bound on durable store payload bytes (0: unbounded)")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof runtime profiling (empty: off)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *par, *cacheEntries, *maxGrid, *timeout, *maxTimeout, *drain, *storeDir, *storeMax); err != nil {
+	if err := run(*addr, *workers, *queue, *par, *cacheEntries, *maxGrid, *timeout, *maxTimeout, *drain, *storeDir, *storeMax, *pprofAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "rpserved: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, maxTimeout, drain time.Duration, storeDir string, storeMax int64) error {
+func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, maxTimeout, drain time.Duration, storeDir string, storeMax int64, pprofAddr string) error {
 	if workers < 1 {
 		return fmt.Errorf("-workers must be at least 1, got %d", workers)
 	}
@@ -80,16 +88,20 @@ func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, m
 		lim.MaxTimeout = maxTimeout
 	}
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 	var durable *store.Store
 	if storeDir != "" {
 		var err error
-		durable, err = store.Open(storeDir, store.Options{MaxBytes: storeMax})
+		durable, err = store.Open(storeDir, store.Options{MaxBytes: storeMax, Logger: logger})
 		if err != nil {
 			return fmt.Errorf("opening artifact store: %w", err)
 		}
 		st := durable.Stats()
-		fmt.Printf("rpserved: artifact store %s warm-started with %d entries (%d bytes)\n",
-			storeDir, st.Entries, st.Bytes)
+		logger.Info("artifact store warm-started",
+			slog.String("dir", storeDir),
+			slog.Int("entries", st.Entries),
+			slog.Int64("bytes", st.Bytes))
 	}
 
 	svc := serve.New(serve.Config{
@@ -99,15 +111,36 @@ func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, m
 		CacheEntries:     cacheEntries,
 		Limits:           lim,
 		Store:            durable,
+		Logger:           logger,
 	})
 	httpSrv := &http.Server{Addr: addr, Handler: svc}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if pprofAddr != "" {
+		// The profiler listens on its own mux so /debug/pprof is never
+		// exposed on the service address.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", slog.String("addr", pprofAddr))
+			if err := http.ListenAndServe(pprofAddr, mux); err != nil {
+				logger.Warn("pprof listener failed", slog.String("error", err.Error()))
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("rpserved: listening on %s (%d workers, queue depth %d)\n", addr, workers, queue)
+	logger.Info("listening",
+		slog.String("addr", addr),
+		slog.Int("workers", workers),
+		slog.Int("queue_depth", queue))
 
 	select {
 	case err := <-errc:
@@ -115,7 +148,7 @@ func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, m
 	case <-ctx.Done():
 	}
 
-	fmt.Println("rpserved: draining...")
+	logger.Info("draining", slog.Duration("grace", drain))
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	// Stop the listener first so no new jobs arrive, then drain the queue.
@@ -125,6 +158,6 @@ func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, m
 	if err := svc.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("draining jobs: %w", err)
 	}
-	fmt.Println("rpserved: done")
+	logger.Info("drained, exiting")
 	return nil
 }

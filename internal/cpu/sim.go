@@ -20,6 +20,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/stacks"
 	"repro/internal/trace"
 )
@@ -50,6 +51,11 @@ type Sim struct {
 	hier *mem.Hierarchy
 	pred branch.Predictor
 	btb  *branch.BTB
+
+	// tracer records the simulation phases (warmup, prepare, simulate) as
+	// spans under traceParent; nil records nothing. Set with SetTracer.
+	tracer      *obs.Tracer
+	traceParent uint64
 
 	recs []trace.Record
 
@@ -144,6 +150,13 @@ func New(cfg *config.Config) (*Sim, error) {
 	}
 	s.btb = branch.NewBTB(st.BTBEntries)
 	return s, nil
+}
+
+// SetTracer attaches an observability tracer: the warmup, prepare and
+// simulate phases record spans under parent. A nil tracer (the default)
+// records nothing and costs nothing.
+func (s *Sim) SetTracer(tr *obs.Tracer, parent uint64) {
+	s.tracer, s.traceParent = tr, parent
 }
 
 func (s *Sim) lat(e stacks.Event) int64 { return int64(s.cfg.Lat[e]) }
@@ -290,9 +303,15 @@ func (s *Sim) Run(uops []isa.MicroOp) (*trace.Trace, error) {
 	if len(uops) == 0 {
 		return &trace.Trace{}, nil
 	}
-	if err := s.prepare(uops); err != nil {
+	prep := s.tracer.StartChild(s.traceParent, obs.CatCPU, "prepare")
+	prep.SetArg("uops", int64(len(uops)))
+	err := s.prepare(uops)
+	prep.End()
+	if err != nil {
 		return nil, err
 	}
+	sim := s.tracer.StartChild(s.traceParent, obs.CatCPU, "simulate")
+	defer sim.End()
 	n := len(uops)
 	// Generous deadlock guard: no µop should take more than this many
 	// cycles on average even in pathological memory-bound configurations.
@@ -311,6 +330,7 @@ func (s *Sim) Run(uops []isa.MicroOp) (*trace.Trace, error) {
 				c, s.nextCommit, n)
 		}
 	}
+	sim.SetArg("cycles", c)
 	s.stats.Cycles = s.recs[n-1].T[trace.SCommit]
 	s.stats.MicroOps = n
 	s.stats.IServed = s.hier.IServed
@@ -329,6 +349,9 @@ func (s *Sim) Stats() Stats { return s.stats }
 // steady-state behaviour instead of compulsory misses (the functional
 // warming of SMARTS-style sampling). Counters are reset afterwards.
 func (s *Sim) WarmUp(uops []isa.MicroOp) {
+	sp := s.tracer.StartChild(s.traceParent, obs.CatCPU, "warmup")
+	sp.SetArg("uops", int64(len(uops)))
+	defer sp.End()
 	st := &s.cfg.Structure
 	lineMask := ^uint64(st.LineSize - 1)
 	var lastLine uint64 = ^uint64(0)

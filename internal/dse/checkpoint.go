@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/stacks"
 )
 
@@ -151,8 +152,11 @@ var errCorruptChunk = fmt.Errorf("dse: corrupt checkpoint chunk")
 // returns the restored point count. Corrupt chunks are deleted (their
 // points re-evaluated); a healthy chunk carrying a different fingerprint is
 // a hard error, because silently mixing two sweeps' results is the one
-// failure resume must never have.
-func loadChunks(dir string, fp [sha256.Size]byte, results []Result, done []bool) (int, error) {
+// failure resume must never have. Each restored chunk is recorded as one
+// resume span under parent (Arg = its point count), which is how the
+// progress meter learns how much of the sweep arrived from disk; tr may be
+// nil.
+func loadChunks(dir string, fp [sha256.Size]byte, results []Result, done []bool, tr *obs.Tracer, parent uint64) (int, error) {
 	des, err := os.ReadDir(dir)
 	if err != nil {
 		return 0, fmt.Errorf("dse: reading checkpoint dir: %w", err)
@@ -195,6 +199,9 @@ func loadChunks(dir string, fp [sha256.Size]byte, results []Result, done []bool)
 			results[e.idx].Cycles = e.cycles
 			restored++
 		}
+		sp := tr.StartChild(parent, obs.CatDSE, obs.NameResume)
+		sp.SetArg(obs.ArgPoints, int64(len(entries)))
+		sp.End()
 	}
 	return restored, nil
 }

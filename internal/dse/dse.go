@@ -17,6 +17,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/depgraph"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/stacks"
 )
 
@@ -153,6 +154,16 @@ func (r *Report) finish(wall time.Duration, workers []WorkerTiming) {
 // returns point i's cycle count; salt may be nil for engines whose output
 // is determined by the point list alone.
 func runPoints(rep *Report, points []stacks.Latencies, opts ExploreOptions, salt func(io.Writer) error, eval func(worker, i int) (float64, error)) error {
+	// The sweep root wraps everything below — checkpoint restore included —
+	// so an exported trace accounts for (at least) the whole Report.Wall.
+	// Chunk spans attach under it via TraceParent; all of this is inert when
+	// opts.Tracer is nil.
+	root := opts.Tracer.StartChild(opts.TraceParent, obs.CatDSE, obs.NameSweep)
+	root.SetDetail(rep.Method)
+	root.SetArg(obs.ArgPoints, int64(len(points)))
+	defer root.End()
+	opts.TraceParent = root.ID()
+
 	results := rep.Results
 	if opts.Checkpoint == nil {
 		wall, workers, err := sweep(len(points), opts, func(worker, lo, hi int) error {
@@ -181,7 +192,7 @@ func runPoints(rep *Report, points []stacks.Latencies, opts ExploreOptions, salt
 		return err
 	}
 	done := make([]bool, len(points))
-	restored, err := loadChunks(dir, fp, results, done)
+	restored, err := loadChunks(dir, fp, results, done, opts.Tracer, opts.TraceParent)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ExploreOptions configures how a sweep engine walks the design-point list.
@@ -41,6 +43,17 @@ type ExploreOptions struct {
 	// is rejected with an error rather than mixed in. Nil keeps the engines'
 	// historical zero-IO behavior.
 	Checkpoint *Checkpoint
+	// Tracer, when non-nil, records the sweep into span records: one sweep
+	// root per exploration, one chunk span per claimed work unit (TID = the
+	// worker index, Arg = the chunk's point count), one resume span per
+	// restored checkpoint chunk. A nil Tracer adds nothing to the hot loop —
+	// not even an allocation, which TestTracingDisabledChunkEvalAllocFree
+	// pins down.
+	Tracer *obs.Tracer
+	// TraceParent is the span ID the sweep root attaches under, letting a
+	// caller (the rpserved job runner) nest the whole sweep inside its own
+	// trace. Zero roots the sweep at top level.
+	TraceParent uint64
 }
 
 // workerCount returns the number of workers a sweep over n points will use.
@@ -84,6 +97,20 @@ func sweep(n int, opts ExploreOptions, eval func(worker, lo, hi int) error) (tim
 	ctx := opts.Context
 	workers := opts.workerCount(n)
 	chunk := opts.chunkSize(n, workers)
+	if tr := opts.Tracer; tr != nil {
+		inner, parent := eval, opts.TraceParent
+		eval = func(worker, lo, hi int) error {
+			if hi == lo { // fully-resumed sweep: nothing evaluated, no span
+				return inner(worker, lo, hi)
+			}
+			sp := tr.StartChild(parent, obs.CatDSE, obs.NameChunk)
+			sp.SetTID(worker)
+			sp.SetArg(obs.ArgPoints, int64(hi-lo))
+			err := inner(worker, lo, hi)
+			sp.End()
+			return err
+		}
+	}
 	start := time.Now()
 	if workers == 1 {
 		if ctx == nil {

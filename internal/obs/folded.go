@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// folded.go — the collapsed-stack exporter. Each output line is
+// "root;child;grandchild <microseconds>", the format flamegraph.pl,
+// inferno and speedscope consume. The value per line is *self* time: a
+// span's duration minus its recorded children's durations, so the flame
+// widths add up instead of double-counting nested spans.
+
+// WriteFolded renders records as folded stacks aggregated by path, sorted
+// lexicographically for deterministic output. Spans whose parent was
+// overwritten out of the ring are rooted at their own name — flight-recorder
+// truncation degrades the stacks, never the totals.
+func WriteFolded(w io.Writer, recs []Record) error {
+	byID := make(map[uint64]*Record, len(recs))
+	for i := range recs {
+		byID[recs[i].ID] = &recs[i]
+	}
+	childDur := make(map[uint64]time.Duration, len(recs))
+	for i := range recs {
+		if p := recs[i].Parent; p != 0 {
+			if _, ok := byID[p]; ok {
+				childDur[p] += recs[i].Dur
+			}
+		}
+	}
+	agg := make(map[string]time.Duration, len(recs))
+	var frames []string
+	for i := range recs {
+		r := &recs[i]
+		frames = frames[:0]
+		for cur := r; ; {
+			frames = append(frames, cur.Cat+":"+cur.Name)
+			parent, ok := byID[cur.Parent]
+			if cur.Parent == 0 || !ok {
+				break
+			}
+			cur = parent
+		}
+		// frames is leaf-first; folded stacks want root-first.
+		for l, rr := 0, len(frames)-1; l < rr; l, rr = l+1, rr-1 {
+			frames[l], frames[rr] = frames[rr], frames[l]
+		}
+		self := r.Dur - childDur[r.ID]
+		if self < 0 {
+			self = 0
+		}
+		agg[strings.Join(frames, ";")] += self
+	}
+	paths := make([]string, 0, len(agg))
+	for p := range agg {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := fmt.Fprintf(w, "%s %d\n", p, agg[p].Microseconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

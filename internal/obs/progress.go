@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// progress.go — a sweep progress meter driven by the tracer's span hooks:
+// chunk spans advance the done count, resume spans count restored checkpoint
+// chunks. No goroutine and no timer — a line is printed from Observe when
+// the reporting interval has elapsed, and Flush prints the final line. Wire
+// it up with NewTracer(..., WithOnEnd(p.Observe)).
+
+// Progress accumulates sweep completion from span records and periodically
+// writes a one-line status.
+type Progress struct {
+	w        io.Writer
+	total    int64
+	interval time.Duration
+	now      func() time.Time // injectable for tests
+
+	mu            sync.Mutex
+	start         time.Time
+	lastPrint     time.Time
+	printedDone   int64 // done count at the last printed line, -1 before any
+	done          int64
+	resumedChunks int64
+	resumedPoints int64
+}
+
+// NewProgress returns a meter over a sweep of total design points that
+// prints to w at most once per interval (non-positive: every two seconds).
+func NewProgress(w io.Writer, total int, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	now := time.Now
+	t := now()
+	return &Progress{w: w, total: int64(total), interval: interval, now: now, start: t, lastPrint: t, printedDone: -1}
+}
+
+// Observe consumes one span record; pass it as the tracer's WithOnEnd hook.
+// Chunk records advance the done count by their point Arg; resume records
+// count restored checkpoint chunks and their points.
+func (p *Progress) Observe(rec Record) {
+	if rec.Cat != CatDSE {
+		return
+	}
+	p.mu.Lock()
+	switch rec.Name {
+	case NameChunk:
+		p.done += rec.Arg
+	case NameResume:
+		p.resumedChunks++
+		p.resumedPoints += rec.Arg
+		p.done += rec.Arg
+	default:
+		p.mu.Unlock()
+		return
+	}
+	t := p.now()
+	if (t.Sub(p.lastPrint) < p.interval && p.done < p.total) || p.printedDone == p.done {
+		p.mu.Unlock()
+		return
+	}
+	p.lastPrint = t
+	p.printedDone = p.done
+	line := p.lineLocked(t)
+	p.mu.Unlock()
+	fmt.Fprintln(p.w, line)
+}
+
+// Flush prints the final progress line, unless Observe already printed one
+// at the current done count.
+func (p *Progress) Flush() {
+	p.mu.Lock()
+	if p.printedDone == p.done {
+		p.mu.Unlock()
+		return
+	}
+	p.printedDone = p.done
+	line := p.lineLocked(p.now())
+	p.mu.Unlock()
+	fmt.Fprintln(p.w, line)
+}
+
+// lineLocked renders the status line. Called with mu held.
+func (p *Progress) lineLocked(t time.Time) string {
+	elapsed := t.Sub(p.start)
+	evaluated := p.done - p.resumedPoints // restored points took no sweep time
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(evaluated) / elapsed.Seconds()
+	}
+	eta := "?"
+	if remaining := p.total - p.done; remaining <= 0 {
+		eta = "0s"
+	} else if rate > 0 {
+		eta = time.Duration(float64(remaining) / rate * float64(time.Second)).Round(100 * time.Millisecond).String()
+	}
+	line := fmt.Sprintf("progress: %d/%d points (%.1f%%) %.0f pts/s eta %s",
+		p.done, p.total, 100*float64(p.done)/float64(max64(p.total, 1)), rate, eta)
+	if p.resumedChunks > 0 {
+		line += fmt.Sprintf(" resumed %d chunks (%d pts)", p.resumedChunks, p.resumedPoints)
+	}
+	return line
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,45 @@
+package obs
+
+// taxonomy.go — the span vocabulary shared by the instrumented layers. Cats
+// name subsystems, the constants below name the operations whose records
+// other components match on (the progress meter counts chunk and resume
+// spans; the service derives stage histograms from queue-wait, setup and
+// chunk spans). Free-form names are fine for everything else.
+
+const (
+	// CatDSE covers the sweep engines: one sweep root per exploration,
+	// one chunk span per claimed work unit, one resume span per restored
+	// checkpoint chunk.
+	CatDSE = "dse"
+	// CatJob covers the rpserved job lifecycle: job root, queue-wait,
+	// setup and the nested sweep.
+	CatJob = "job"
+	// CatCache covers serve/cache.Tiered lookups: mem-hit, disk-hit,
+	// build, singleflight-wait, plus the builder's disk-read/decode/
+	// compute/publish children.
+	CatCache = "cache"
+	// CatStore covers internal/store: read, verify, evict.
+	CatStore = "store"
+	// CatCPU covers internal/cpu simulation phases: warmup, prepare,
+	// simulate.
+	CatCPU = "cpu"
+)
+
+const (
+	// NameSweep is the root span of one engine sweep; Detail carries the
+	// engine name, Arg the design-point count.
+	NameSweep = "sweep"
+	// NameChunk is one claimed work unit; TID carries the worker index,
+	// Arg the chunk's point count.
+	NameChunk = "chunk"
+	// NameResume is one checkpoint chunk restored instead of evaluated;
+	// Arg carries its point count.
+	NameResume = "resume"
+	// NameQueueWait is the time a job spent queued before a worker
+	// claimed it.
+	NameQueueWait = "queue-wait"
+	// NameSetup is a job's combined workload + artifact setup phase.
+	NameSetup = "setup"
+	// ArgPoints is the ArgKey of chunk/resume/sweep point counts.
+	ArgPoints = "points"
+)

@@ -3,6 +3,8 @@ package cache
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // tiered.go — the two-tier composition the service runs in production:
@@ -76,11 +78,34 @@ func NewTiered[V any](capacity int, disk BlobStore) *Tiered[V] {
 // publish is still returned to the caller — durability is best-effort,
 // correctness is not.
 func (t *Tiered[V]) GetOrCompute(key string, codec Codec[V], build func() (V, time.Duration, error)) (V, Tier, error) {
+	return t.GetOrComputeTraced(nil, 0, key, codec, build)
+}
+
+// GetOrComputeTraced is GetOrCompute recording its outcome as spans under
+// parent: one lookup span renamed at completion to how the call was served
+// (mem-hit, disk-hit, build or singleflight-wait), with disk-read, decode,
+// compute and publish children when the flight's builder runs. A nil tracer
+// records nothing.
+func (t *Tiered[V]) GetOrComputeTraced(otr *obs.Tracer, parent uint64, key string, codec Codec[V], build func() (V, time.Duration, error)) (V, Tier, error) {
+	lookup := otr.StartChild(parent, obs.CatCache, "lookup")
+	lookup.SetDetail(key)
 	tier := TierBuilt
+	ran := false
 	v, memHit, err := t.mem.GetOrCompute(key, func() (V, time.Duration, error) {
+		// tier and ran are written by at most one caller: the single flight's
+		// builder. Joiners never enter this closure, so their lookup resolves
+		// to singleflight-wait below.
+		ran = true
 		if t.disk != nil {
-			if blob, cost, ok := t.disk.Get(key); ok {
-				if dv, derr := codec.Decode(blob); derr == nil {
+			rd := otr.StartChild(lookup.ID(), obs.CatCache, "disk-read")
+			blob, cost, ok := t.disk.Get(key)
+			rd.SetArg("bytes", int64(len(blob)))
+			rd.End()
+			if ok {
+				dec := otr.StartChild(lookup.ID(), obs.CatCache, "decode")
+				dv, derr := codec.Decode(blob)
+				dec.End()
+				if derr == nil {
 					t.diskHits.Add(1)
 					tier = TierDisk
 					return dv, cost, nil
@@ -89,21 +114,37 @@ func (t *Tiered[V]) GetOrCompute(key string, codec Codec[V], build func() (V, ti
 				t.disk.Delete(key)
 			}
 		}
+		cp := otr.StartChild(lookup.ID(), obs.CatCache, "compute")
 		v, cost, berr := build()
+		cp.End()
 		if berr == nil && t.disk != nil {
+			pub := otr.StartChild(lookup.ID(), obs.CatCache, "publish")
 			if blob, eerr := codec.Encode(v); eerr == nil {
+				pub.SetArg("bytes", int64(len(blob)))
 				if perr := t.disk.Put(key, blob, cost); perr != nil {
 					t.publishErrors.Add(1)
 				}
 			} else {
 				t.encodeErrors.Add(1)
 			}
+			pub.End()
 		}
 		return v, cost, berr
 	})
 	if memHit {
 		tier = TierMem
 	}
+	switch {
+	case memHit:
+		lookup.Rename("mem-hit")
+	case tier == TierDisk:
+		lookup.Rename("disk-hit")
+	case ran:
+		lookup.Rename("build")
+	default:
+		lookup.Rename("singleflight-wait")
+	}
+	lookup.End()
 	return v, tier, err
 }
 

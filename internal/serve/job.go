@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // JobStatus is the lifecycle state of a submitted job.
@@ -25,6 +27,15 @@ type Job struct {
 	Spec      *JobSpec
 	Submitted time.Time
 
+	// tracer is the job's flight recorder: a bounded span ring covering the
+	// job's whole lifecycle (queue wait, setup, sweep chunks, cache and
+	// store activity), exported by GET /debug/trace?job=<id>.
+	tracer *obs.Tracer
+	// root is the job's top-level span; queued covers the time between
+	// submission and a worker claiming the job.
+	root   obs.Span
+	queued obs.Span
+
 	mu       sync.Mutex
 	status   JobStatus
 	started  time.Time
@@ -32,6 +43,10 @@ type Job struct {
 	result   *JobResult
 	err      error
 }
+
+// Trace snapshots the job's flight recorder, oldest span first (nil when the
+// job was accepted without tracing).
+func (j *Job) Trace() []obs.Record { return j.tracer.Snapshot() }
 
 // PointResult is one ranked design point: the explored axis latencies and
 // the predicted cost.

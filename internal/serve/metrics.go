@@ -3,17 +3,19 @@ package serve
 import (
 	"fmt"
 	"io"
-	"sort"
-	"strconv"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/obs/prom"
 	"repro/internal/serve/cache"
 )
 
-// metrics.go — the service's hand-rolled observability layer. Counters and
-// histograms are plain atomics rendered in the Prometheus text exposition
-// format (version 0.0.4) by writeMetrics; no client library is pulled in.
+// metrics.go — the service's observability surface, built on the shared
+// obs/prom registry. Counters the request path owns are updated in place;
+// queue, cache and store state is pulled at scrape time from its owners so
+// nothing is double-accounted. All metric names carry the rpstacks_ prefix
+// (renamed from the pre-registry rpserved_ names — a breaking change for
+// scrapers, noted in DESIGN.md §8).
 
 // sweepBuckets are the per-engine sweep-latency histogram bounds in
 // seconds. RpStacks sweeps land in the sub-millisecond buckets, graph
@@ -21,164 +23,162 @@ import (
 // the spread is the paper's Figure 2b as an operational signal.
 var sweepBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
 
-// histogram is a fixed-bucket cumulative histogram safe for concurrent
-// observation.
-type histogram struct {
-	bounds []float64
-	counts []atomic.Uint64 // len(bounds)+1; last bucket is +Inf
-	sumNS  atomic.Int64
-	total  atomic.Uint64
-}
-
-func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
-	i := sort.SearchFloat64s(h.bounds, s)
-	h.counts[i].Add(1)
-	h.sumNS.Add(int64(d))
-	h.total.Add(1)
-}
+// stageBuckets cover the job lifecycle stages, which range from microsecond
+// queue waits to multi-second cold setups.
+var stageBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 1, 10}
 
 // jobStatuses are the terminal states the jobs_total counter is labelled
 // with, in render order.
 var jobStatuses = []JobStatus{JobDone, JobFailed, JobTimeout, JobCanceled}
 
-// metrics holds every service-level counter. Queue depth and cache counters
-// live with their owners and are pulled in at render time.
+// stageNames are the span-derived lifecycle stages exported as a histogram,
+// in render order.
+var stageNames = []string{"queue-wait", "setup", "chunk-evaluate"}
+
+// metrics holds the service's owned metric handles plus the registry that
+// renders everything.
 type metrics struct {
-	submitted atomic.Uint64 // jobs accepted onto the queue
-	rejected  atomic.Uint64 // jobs shed with 429 (queue full)
-	invalid   atomic.Uint64 // requests rejected with 400
-	inflight  atomic.Int64  // jobs currently running on a worker
-	finished  map[JobStatus]*atomic.Uint64
-	sweeps    map[string]*histogram // per-engine sweep wall-clock
+	reg       *prom.Registry
+	submitted *prom.Counter
+	rejected  *prom.Counter
+	invalid   *prom.Counter
+	inflight  *prom.Gauge
+	finished  *prom.CounterVec
+	sweeps    *prom.HistogramVec
+	stages    *prom.HistogramVec
 }
 
 func newMetrics() *metrics {
+	reg := prom.NewRegistry()
 	m := &metrics{
-		finished: make(map[JobStatus]*atomic.Uint64),
-		sweeps:   make(map[string]*histogram),
+		reg:       reg,
+		submitted: reg.Counter("rpstacks_jobs_submitted_total", "Jobs accepted onto the queue."),
+		rejected:  reg.Counter("rpstacks_jobs_rejected_total", "Jobs shed with 429 because the queue was full."),
+		invalid:   reg.Counter("rpstacks_requests_invalid_total", "Submissions rejected with 400."),
+		finished:  reg.CounterVec("rpstacks_jobs_total", "Finished jobs by terminal status.", "status"),
+		inflight:  reg.Gauge("rpstacks_jobs_inflight", "Jobs currently running on a worker."),
+		sweeps: reg.HistogramVec("rpstacks_sweep_duration_seconds",
+			"Per-engine design-space sweep wall-clock.", sweepBuckets, "engine"),
+		stages: reg.HistogramVec("rpstacks_stage_duration_seconds",
+			"Span-derived job lifecycle stage durations.", stageBuckets, "stage"),
 	}
+	// Pre-create every labelled row so the exposition is complete and its
+	// order deterministic from the first scrape.
 	for _, st := range jobStatuses {
-		m.finished[st] = new(atomic.Uint64)
+		m.finished.With(string(st))
 	}
 	for _, engine := range engineNames {
-		m.sweeps[engine] = newHistogram(sweepBuckets)
+		m.sweeps.With(engine)
+	}
+	for _, stage := range stageNames {
+		m.stages.With(stage)
 	}
 	return m
 }
 
 func (m *metrics) jobFinished(st JobStatus) {
-	if c, ok := m.finished[st]; ok {
-		c.Add(1)
+	m.finished.With(string(st)).Inc()
+}
+
+// observeSweep records one sweep's wall-clock; exemplar carries the job and
+// trace identity that the slowest observation surfaces on /metrics.
+func (m *metrics) observeSweep(engine string, wall time.Duration, exemplar string) {
+	m.sweeps.With(engine).ObserveExemplar(wall.Seconds(), exemplar)
+}
+
+// observeSpan derives stage histograms from completed spans; it is every
+// per-job tracer's WithOnEnd hook, so queue waits, setup phases and sweep
+// chunks feed /metrics without separate bookkeeping at the call sites.
+func (m *metrics) observeSpan(rec obs.Record) {
+	switch {
+	case rec.Cat == obs.CatJob && rec.Name == obs.NameQueueWait:
+		m.stages.With("queue-wait").Observe(rec.Dur.Seconds())
+	case rec.Cat == obs.CatJob && rec.Name == obs.NameSetup:
+		m.stages.With("setup").Observe(rec.Dur.Seconds())
+	case rec.Cat == obs.CatDSE && rec.Name == obs.NameChunk:
+		m.stages.With("chunk-evaluate").Observe(rec.Dur.Seconds())
 	}
 }
 
-func (m *metrics) observeSweep(engine string, wall time.Duration) {
-	if h, ok := m.sweeps[engine]; ok {
-		h.observe(wall)
+// registerCollectors installs the pull-style families over state owned
+// elsewhere: queue occupancy, both cache tiers and (when configured) the
+// durable store. Called once from New, after those owners exist.
+func (s *Server) registerCollectors() {
+	reg := s.metrics.reg
+	reg.Collect("rpstacks_queue_depth", "Jobs waiting on the queue.", "gauge",
+		func(emit func(string, float64)) { emit("", float64(len(s.queue))) })
+	reg.Collect("rpstacks_queue_capacity", "Bound of the job queue.", "gauge",
+		func(emit func(string, float64)) { emit("", float64(cap(s.queue))) })
+
+	caches := func(visit func(name string, st cache.TieredStats)) {
+		visit("artifacts", s.artifacts.Stats())
+		visit("workloads", s.workloads.Stats())
 	}
-}
+	label := func(name string) string { return fmt.Sprintf("{cache=%q}", name) }
+	reg.Collect("rpstacks_cache_hits_total", "In-memory cache hits.", "counter",
+		func(emit func(string, float64)) {
+			caches(func(n string, st cache.TieredStats) { emit(label(n), float64(st.Memory.Hits)) })
+		})
+	reg.Collect("rpstacks_cache_misses_total", "In-memory cache misses.", "counter",
+		func(emit func(string, float64)) {
+			caches(func(n string, st cache.TieredStats) { emit(label(n), float64(st.Memory.Misses)) })
+		})
+	reg.Collect("rpstacks_cache_evictions_total", "In-memory cache evictions.", "counter",
+		func(emit func(string, float64)) {
+			caches(func(n string, st cache.TieredStats) { emit(label(n), float64(st.Memory.Evictions)) })
+		})
+	reg.Collect("rpstacks_cache_entries", "Completed in-memory cache entries.", "gauge",
+		func(emit func(string, float64)) {
+			caches(func(n string, st cache.TieredStats) { emit(label(n), float64(st.Memory.Entries)) })
+		})
+	reg.Collect("rpstacks_cache_disk_hits_total", "Lookups served from the durable tier.", "counter",
+		func(emit func(string, float64)) {
+			caches(func(n string, st cache.TieredStats) { emit(label(n), float64(st.DiskHits)) })
+		})
+	reg.Collect("rpstacks_cache_codec_errors_total", "Codec failures at the durable-tier boundary.", "counter",
+		func(emit func(string, float64)) {
+			caches(func(n string, st cache.TieredStats) {
+				emit(fmt.Sprintf("{cache=%q,kind=\"decode\"}", n), float64(st.DecodeErrors))
+				emit(fmt.Sprintf("{cache=%q,kind=\"encode\"}", n), float64(st.EncodeErrors))
+				emit(fmt.Sprintf("{cache=%q,kind=\"publish\"}", n), float64(st.PublishErrors))
+			})
+		})
+	reg.Collect("rpstacks_setup_saved_seconds_total", "Setup time cache hits avoided re-paying.", "counter",
+		func(emit func(string, float64)) {
+			var saved time.Duration
+			caches(func(_ string, st cache.TieredStats) { saved += st.Memory.SavedSetup })
+			emit("", saved.Seconds())
+		})
 
-// fmtFloat renders a float the way Prometheus expects.
-func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-
-// writeMetrics renders the full exposition: job counters, queue state,
-// cache counters (hit/miss/eviction and setup time saved) and the
-// per-engine sweep latency histograms.
-func (s *Server) writeMetrics(w io.Writer) {
-	m := s.metrics
-	line := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
-
-	line("# HELP rpserved_jobs_submitted_total Jobs accepted onto the queue.")
-	line("# TYPE rpserved_jobs_submitted_total counter")
-	line("rpserved_jobs_submitted_total %d", m.submitted.Load())
-	line("# HELP rpserved_jobs_rejected_total Jobs shed with 429 because the queue was full.")
-	line("# TYPE rpserved_jobs_rejected_total counter")
-	line("rpserved_jobs_rejected_total %d", m.rejected.Load())
-	line("# HELP rpserved_requests_invalid_total Submissions rejected with 400.")
-	line("# TYPE rpserved_requests_invalid_total counter")
-	line("rpserved_requests_invalid_total %d", m.invalid.Load())
-
-	line("# HELP rpserved_jobs_total Finished jobs by terminal status.")
-	line("# TYPE rpserved_jobs_total counter")
-	for _, st := range jobStatuses {
-		line("rpserved_jobs_total{status=%q} %d", string(st), m.finished[st].Load())
+	if s.store == nil {
+		return
 	}
-
-	line("# HELP rpserved_jobs_inflight Jobs currently running on a worker.")
-	line("# TYPE rpserved_jobs_inflight gauge")
-	line("rpserved_jobs_inflight %d", m.inflight.Load())
-	line("# HELP rpserved_queue_depth Jobs waiting on the queue.")
-	line("# TYPE rpserved_queue_depth gauge")
-	line("rpserved_queue_depth %d", len(s.queue))
-	line("# HELP rpserved_queue_capacity Bound of the job queue.")
-	line("# TYPE rpserved_queue_capacity gauge")
-	line("rpserved_queue_capacity %d", cap(s.queue))
-
-	var totalSaved time.Duration
-	for _, c := range []struct {
-		name string
-		st   cache.TieredStats
+	storeGauges := []struct {
+		name, help, typ string
+		get             func() float64
 	}{
-		{"artifacts", s.artifacts.Stats()},
-		{"workloads", s.workloads.Stats()},
-	} {
-		st := c.st.Memory
-		line("rpserved_cache_hits_total{cache=%q} %d", c.name, st.Hits)
-		line("rpserved_cache_misses_total{cache=%q} %d", c.name, st.Misses)
-		line("rpserved_cache_evictions_total{cache=%q} %d", c.name, st.Evictions)
-		line("rpserved_cache_entries{cache=%q} %d", c.name, st.Entries)
-		line("rpserved_cache_disk_hits_total{cache=%q} %d", c.name, c.st.DiskHits)
-		line("rpserved_cache_codec_errors_total{cache=%q,kind=\"decode\"} %d", c.name, c.st.DecodeErrors)
-		line("rpserved_cache_codec_errors_total{cache=%q,kind=\"encode\"} %d", c.name, c.st.EncodeErrors)
-		line("rpserved_cache_codec_errors_total{cache=%q,kind=\"publish\"} %d", c.name, c.st.PublishErrors)
-		totalSaved += st.SavedSetup
+		{"rpstacks_store_hits_total", "Durable-store reads served with a verified payload.", "counter",
+			func() float64 { return float64(s.store.Stats().Hits) }},
+		{"rpstacks_store_misses_total", "Durable-store reads for absent keys.", "counter",
+			func() float64 { return float64(s.store.Stats().Misses) }},
+		{"rpstacks_store_corruptions_total", "Entries dropped for checksum, size or manifest damage.", "counter",
+			func() float64 { return float64(s.store.Stats().Corruptions) }},
+		{"rpstacks_store_evictions_total", "Entries evicted by the capacity GC.", "counter",
+			func() float64 { return float64(s.store.Stats().Evictions) }},
+		{"rpstacks_store_entries", "Entries currently published on disk.", "gauge",
+			func() float64 { return float64(s.store.Stats().Entries) }},
+		{"rpstacks_store_bytes", "Payload bytes currently published on disk.", "gauge",
+			func() float64 { return float64(s.store.Stats().Bytes) }},
+		{"rpstacks_store_setup_saved_seconds_total", "Build cost durable hits avoided re-paying, across restarts.", "counter",
+			func() float64 { return s.store.Stats().SavedSetup.Seconds() }},
 	}
-	line("# HELP rpserved_setup_saved_seconds_total Setup time cache hits avoided re-paying.")
-	line("# TYPE rpserved_setup_saved_seconds_total counter")
-	line("rpserved_setup_saved_seconds_total %s", fmtFloat(totalSaved.Seconds()))
+	for _, g := range storeGauges {
+		get := g.get
+		reg.Collect(g.name, g.help, g.typ, func(emit func(string, float64)) { emit("", get()) })
+	}
+}
 
-	if s.store != nil {
-		st := s.store.Stats()
-		line("# HELP rpserved_store_hits_total Durable-store reads served with a verified payload.")
-		line("# TYPE rpserved_store_hits_total counter")
-		line("rpserved_store_hits_total %d", st.Hits)
-		line("# HELP rpserved_store_misses_total Durable-store reads for absent keys.")
-		line("# TYPE rpserved_store_misses_total counter")
-		line("rpserved_store_misses_total %d", st.Misses)
-		line("# HELP rpserved_store_corruptions_total Entries dropped for checksum, size or manifest damage.")
-		line("# TYPE rpserved_store_corruptions_total counter")
-		line("rpserved_store_corruptions_total %d", st.Corruptions)
-		line("# HELP rpserved_store_evictions_total Entries evicted by the capacity GC.")
-		line("# TYPE rpserved_store_evictions_total counter")
-		line("rpserved_store_evictions_total %d", st.Evictions)
-		line("# HELP rpserved_store_entries Entries currently published on disk.")
-		line("# TYPE rpserved_store_entries gauge")
-		line("rpserved_store_entries %d", st.Entries)
-		line("# HELP rpserved_store_bytes Payload bytes currently published on disk.")
-		line("# TYPE rpserved_store_bytes gauge")
-		line("rpserved_store_bytes %d", st.Bytes)
-		line("# HELP rpserved_store_setup_saved_seconds_total Build cost durable hits avoided re-paying, across restarts.")
-		line("# TYPE rpserved_store_setup_saved_seconds_total counter")
-		line("rpserved_store_setup_saved_seconds_total %s", fmtFloat(st.SavedSetup.Seconds()))
-	}
-
-	line("# HELP rpserved_sweep_duration_seconds Per-engine design-space sweep wall-clock.")
-	line("# TYPE rpserved_sweep_duration_seconds histogram")
-	for _, engine := range engineNames {
-		h := m.sweeps[engine]
-		cum := uint64(0)
-		for i, bound := range h.bounds {
-			cum += h.counts[i].Load()
-			line("rpserved_sweep_duration_seconds_bucket{engine=%q,le=%q} %d", engine, fmtFloat(bound), cum)
-		}
-		cum += h.counts[len(h.bounds)].Load()
-		line("rpserved_sweep_duration_seconds_bucket{engine=%q,le=\"+Inf\"} %d", engine, cum)
-		line("rpserved_sweep_duration_seconds_sum{engine=%q} %s", engine, fmtFloat(time.Duration(h.sumNS.Load()).Seconds()))
-		line("rpserved_sweep_duration_seconds_count{engine=%q} %d", engine, h.total.Load())
-	}
+// writeMetrics renders the full exposition.
+func (s *Server) writeMetrics(w io.Writer) {
+	s.metrics.reg.WriteText(w)
 }

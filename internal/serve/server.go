@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/dse"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/serve/cache"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -74,13 +76,27 @@ type Config struct {
 	// The caller owns opening (store.Open) and thereby chooses directory and
 	// capacity bound. Nil runs memory-only, exactly the pre-store behavior.
 	Store *store.Store
+	// Logger receives the service's structured logs (job lifecycle, load
+	// shedding, store trouble), each carrying job_id / trace_digest
+	// attributes where one applies. Nil discards.
+	Logger *slog.Logger
+	// TraceCapacity bounds each job's flight-recorder ring (span records
+	// kept per job, oldest overwritten). Zero picks a default; negative
+	// disables per-job tracing entirely.
+	TraceCapacity int
 }
+
+// defaultTraceCapacity is the per-job flight-recorder ring size: enough for
+// the lifecycle spans plus hundreds of sweep chunks, small enough that the
+// retained-job bound keeps total trace memory modest.
+const defaultTraceCapacity = 512
 
 // Server is the exploration service. Create with New, expose as an
 // http.Handler, stop with Shutdown.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg    Config
+	mux    *http.ServeMux
+	logger *slog.Logger
 
 	metrics   *metrics
 	store     *store.Store
@@ -160,6 +176,12 @@ func New(cfg Config) *Server {
 	if cfg.AnalysisOpts == (core.Options{}) {
 		cfg.AnalysisOpts = core.DefaultOptions()
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.TraceCapacity == 0 {
+		cfg.TraceCapacity = defaultTraceCapacity
+	}
 
 	// A nil *store.Store must stay a nil interface, or the tiers would call
 	// methods on it.
@@ -169,6 +191,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:       cfg,
+		logger:    cfg.Logger,
 		metrics:   newMetrics(),
 		store:     cfg.Store,
 		workloads: cache.NewTiered[*workloadArtifacts](cfg.CacheEntries, blob),
@@ -190,6 +213,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	s.registerCollectors()
 
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -243,43 +268,68 @@ func (s *Server) runJob(job *Job) {
 	if hook := s.beforeJob; hook != nil {
 		hook(job)
 	}
+	job.queued.End()
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 	job.setStatus(JobRunning)
 
 	ctx, cancel := context.WithTimeout(s.jobCtx, job.Spec.Timeout)
-	res, err := s.execute(ctx, job.Spec)
+	start := time.Now()
+	res, err := s.execute(ctx, job)
 	cancel()
 
 	st := job.complete(res, err)
+	job.root.End()
 	s.metrics.jobFinished(st)
 	s.retire(job)
+
+	attrs := []any{
+		slog.String("job_id", job.ID),
+		slog.String("status", string(st)),
+		slog.String("engine", job.Spec.Engine),
+		slog.Duration("elapsed", time.Since(start)),
+	}
+	if res != nil {
+		attrs = append(attrs, slog.String("trace_digest", res.TraceDigest))
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+		s.logger.Warn("job finished", attrs...)
+		return
+	}
+	s.logger.Info("job finished", attrs...)
 }
 
 // execute runs the three phases of a job — obtain the trace, obtain the
 // prediction engine, sweep the grid — with the first two memoized in the
-// content-addressed caches and the context checked between phases.
-func (s *Server) execute(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+// content-addressed caches, the context checked between phases, and every
+// phase recorded into the job's flight recorder.
+func (s *Server) execute(ctx context.Context, job *Job) (*JobResult, error) {
+	spec := job.Spec
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	setupStart := time.Now()
+	setup := job.tracer.StartChild(job.root.ID(), obs.CatJob, obs.NameSetup)
 
 	// Phase 1: the trace (simulate the named workload, or use the upload).
 	tr, uops, digest := spec.Trace, []isa.MicroOp(nil), spec.TraceDigest
 	cached := true
 	if spec.Trace == nil {
-		wa, tier, err := s.workloads.GetOrCompute(s.workloadDiskKey(spec), s.workloadCodec(spec),
+		wa, tier, err := s.workloads.GetOrComputeTraced(job.tracer, setup.ID(),
+			s.workloadDiskKey(spec), s.workloadCodec(spec),
 			func() (*workloadArtifacts, time.Duration, error) {
-				return s.buildWorkload(spec)
+				return s.buildWorkload(spec, job.tracer, setup.ID())
 			})
 		if err != nil {
+			setup.End()
 			return nil, err
 		}
 		tr, uops, digest = wa.tr, wa.uops, wa.digest
 		cached = cached && tier.Cached()
 	}
 	if err := ctx.Err(); err != nil {
+		setup.End()
 		return nil, err
 	}
 
@@ -288,27 +338,37 @@ func (s *Server) execute(ctx context.Context, spec *JobSpec) (*JobResult, error)
 	if spec.Engine != "sim" {
 		var tier cache.Tier
 		var err error
-		art, tier, err = s.artifacts.GetOrCompute(digest+"|"+s.setupPrint, s.setupCodec(tr),
+		art, tier, err = s.artifacts.GetOrComputeTraced(job.tracer, setup.ID(),
+			digest+"|"+s.setupPrint, s.setupCodec(tr),
 			func() (*setupArtifacts, time.Duration, error) {
 				return s.buildArtifacts(tr)
 			})
 		if err != nil {
+			setup.End()
 			return nil, err
 		}
 		cached = cached && tier.Cached()
 	}
+	setup.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	setupWall := time.Since(setupStart)
 
-	// Phase 3: the sweep, cancellable at chunk granularity.
+	// Phase 3: the sweep, cancellable at chunk granularity. The sweep root
+	// span is created by the dse driver itself, nested under the job.
 	par := spec.Parallelism
 	if par == 0 {
 		par = s.cfg.SweepParallelism
 	}
 	points := spec.Space.Enumerate(s.cfg.BaseConfig.Lat)
-	opts := dse.ExploreOptions{Parallelism: par, Context: ctx, Setup: setupWall}
+	opts := dse.ExploreOptions{
+		Parallelism: par,
+		Context:     ctx,
+		Setup:       setupWall,
+		Tracer:      job.tracer,
+		TraceParent: job.root.ID(),
+	}
 	var rep *dse.Report
 	var err error
 	switch spec.Engine {
@@ -324,7 +384,8 @@ func (s *Server) execute(ctx context.Context, spec *JobSpec) (*JobResult, error)
 	if err != nil {
 		return nil, err
 	}
-	s.metrics.observeSweep(spec.Engine, rep.Wall)
+	s.metrics.observeSweep(spec.Engine, rep.Wall,
+		fmt.Sprintf("job_id=%q,trace_digest=%q", job.ID, digest))
 	return rankResults(spec, tr, digest, rep, setupWall, cached), nil
 }
 
@@ -365,7 +426,7 @@ func measuredRegion(spec *JobSpec) (*workload.Generator, []isa.MicroOp, int, err
 // buildWorkload simulates the named workload once: functional warmup, then
 // the traced region. The returned cost is what later cache hits avoid
 // re-paying.
-func (s *Server) buildWorkload(spec *JobSpec) (*workloadArtifacts, time.Duration, error) {
+func (s *Server) buildWorkload(spec *JobSpec, otr *obs.Tracer, parent uint64) (*workloadArtifacts, time.Duration, error) {
 	start := time.Now()
 	gen, stream, cut, err := measuredRegion(spec)
 	if err != nil {
@@ -375,6 +436,7 @@ func (s *Server) buildWorkload(spec *JobSpec) (*workloadArtifacts, time.Duration
 	if err != nil {
 		return nil, 0, err
 	}
+	sim.SetTracer(otr, parent)
 	sim.WarmCode(gen.CodeLines())
 	sim.WarmData(gen.DataLines())
 	sim.WarmUp(stream[:cut])
@@ -566,7 +628,7 @@ func errJSON(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.Limits.MaxBodyBytes))
 	if err != nil {
-		s.metrics.invalid.Add(1)
+		s.metrics.invalid.Inc()
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			errJSON(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
@@ -577,7 +639,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	spec, err := ParseJobRequest(body, s.cfg.Limits)
 	if err != nil {
-		s.metrics.invalid.Add(1)
+		s.metrics.invalid.Inc()
 		errJSON(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -587,6 +649,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Submitted: time.Now(),
 		status:    JobQueued,
 	}
+	if s.cfg.TraceCapacity > 0 {
+		job.tracer = obs.NewTracer(s.cfg.TraceCapacity, obs.WithOnEnd(s.metrics.observeSpan))
+	}
+	job.root = job.tracer.Start(obs.CatJob, "job")
+	job.root.SetDetail(job.ID)
+	job.queued = job.tracer.StartChild(job.root.ID(), obs.CatJob, obs.NameQueueWait)
 
 	s.submitMu.RLock()
 	if s.draining.Load() {
@@ -598,15 +666,49 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.queue <- job:
 		s.submitMu.RUnlock()
-		s.metrics.submitted.Add(1)
+		s.metrics.submitted.Inc()
+		s.logger.Info("job accepted",
+			slog.String("job_id", job.ID),
+			slog.String("engine", spec.Engine),
+			slog.Int("grid_points", spec.GridSize))
 		w.Header().Set("Location", "/jobs/"+job.ID)
 		writeJSON(w, http.StatusAccepted, job.view(false))
 	default:
 		s.submitMu.RUnlock()
 		s.unregister(job.ID)
-		s.metrics.rejected.Add(1)
+		s.metrics.rejected.Inc()
+		s.logger.Warn("job rejected: queue full",
+			slog.String("job_id", job.ID),
+			slog.Int("queue_capacity", cap(s.queue)))
 		w.Header().Set("Retry-After", "1")
 		errJSON(w, http.StatusTooManyRequests, "job queue is full (depth %d); retry later", cap(s.queue))
+	}
+}
+
+// handleTrace serves a job's flight recorder: Chrome trace-event JSON by
+// default (Perfetto / chrome://tracing loadable), collapsed flamegraph
+// stacks with ?format=folded.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("job")
+	job, ok := s.lookup(id)
+	if !ok {
+		errJSON(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	recs := job.Trace()
+	if recs == nil {
+		errJSON(w, http.StatusNotFound, "job %s has no trace (tracing disabled)", id)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteChromeTrace(w, recs)
+	case "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = obs.WriteFolded(w, recs)
+	default:
+		errJSON(w, http.StatusBadRequest, "unknown trace format %q (want chrome or folded)", r.URL.Query().Get("format"))
 	}
 }
 

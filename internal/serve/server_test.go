@@ -225,8 +225,8 @@ func TestServerAcceptance(t *testing.T) {
 	}
 	exp := readAll(t, resp)
 	for _, cacheName := range []string{"workloads", "artifacts"} {
-		misses := metricValue(t, exp, fmt.Sprintf("rpserved_cache_misses_total{cache=%q}", cacheName))
-		hits := metricValue(t, exp, fmt.Sprintf("rpserved_cache_hits_total{cache=%q}", cacheName))
+		misses := metricValue(t, exp, fmt.Sprintf("rpstacks_cache_misses_total{cache=%q}", cacheName))
+		hits := metricValue(t, exp, fmt.Sprintf("rpstacks_cache_hits_total{cache=%q}", cacheName))
 		if misses != 1 {
 			t.Errorf("%s cache misses = %g, want exactly 1 (setup paid once)", cacheName, misses)
 		}
@@ -234,13 +234,13 @@ func TestServerAcceptance(t *testing.T) {
 			t.Errorf("%s cache hits = %g, want %d", cacheName, hits, jobs-1)
 		}
 	}
-	if v := metricValue(t, exp, "rpserved_jobs_submitted_total"); v != jobs {
+	if v := metricValue(t, exp, "rpstacks_jobs_submitted_total"); v != jobs {
 		t.Errorf("jobs submitted = %g, want %d", v, jobs)
 	}
-	if v := metricValue(t, exp, `rpserved_jobs_total{status="done"}`); v != jobs {
+	if v := metricValue(t, exp, `rpstacks_jobs_total{status="done"}`); v != jobs {
 		t.Errorf("jobs done = %g, want %d", v, jobs)
 	}
-	if v := metricValue(t, exp, `rpserved_sweep_duration_seconds_count{engine="rpstacks"}`); v != jobs {
+	if v := metricValue(t, exp, `rpstacks_sweep_duration_seconds_count{engine="rpstacks"}`); v != jobs {
 		t.Errorf("rpstacks sweeps observed = %g, want %d", v, jobs)
 	}
 
@@ -422,7 +422,7 @@ func TestSubmitRejectsInvalid(t *testing.T) {
 		t.Fatal(err)
 	}
 	exp := readAll(t, resp)
-	if v := metricValue(t, exp, "rpserved_requests_invalid_total"); v != 4 {
+	if v := metricValue(t, exp, "rpstacks_requests_invalid_total"); v != 4 {
 		t.Errorf("invalid requests = %g, want 4", v)
 	}
 	if err := s.Shutdown(context.Background()); err != nil {

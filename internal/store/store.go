@@ -26,12 +26,16 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Options parameterizes Open.
@@ -39,12 +43,22 @@ type Options struct {
 	// MaxBytes bounds the total payload bytes kept on disk; beyond it the
 	// least-recently-used entries are evicted. Non-positive means unbounded.
 	MaxBytes int64
+	// Logger receives structured warnings for the events an operator should
+	// see — corrupt entries dropped, manifest damage, evictions. Nil
+	// discards.
+	Logger *slog.Logger
+	// Tracer, when non-nil, records store activity as spans: read and
+	// verify per Get, evict per garbage-collected entry. Nil records
+	// nothing.
+	Tracer *obs.Tracer
 }
 
 // Store is an on-disk content-addressed blob store. Construct with Open.
 type Store struct {
 	dir      string
 	maxBytes int64
+	logger   *slog.Logger
+	tracer   *obs.Tracer
 
 	mu      sync.Mutex
 	entries map[string]*entryMeta
@@ -67,7 +81,12 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("store: creating %s: %w", sub, err)
 		}
 	}
-	s := &Store{dir: dir, maxBytes: opts.MaxBytes, entries: make(map[string]*entryMeta)}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Store{dir: dir, maxBytes: opts.MaxBytes, logger: logger, tracer: opts.Tracer,
+		entries: make(map[string]*entryMeta)}
 
 	if raw, err := os.ReadFile(s.manifestPath()); err == nil {
 		metas, derr := decodeManifest(raw)
@@ -75,6 +94,8 @@ func Open(dir string, opts Options) (*Store, error) {
 			// A torn or rotted manifest degrades to an empty index; the
 			// objects it described are swept as orphans below.
 			s.corruptions.Add(1)
+			s.logger.Warn("store: manifest corrupt, starting with an empty index",
+				slog.String("dir", dir), slog.String("error", derr.Error()))
 		} else {
 			for i := range metas {
 				e := metas[i]
@@ -84,6 +105,10 @@ func Open(dir string, opts Options) (*Store, error) {
 					// drop the entry rather than fail reads later.
 					if serr == nil {
 						s.corruptions.Add(1)
+						s.logger.Warn("store: dropping entry with truncated object",
+							slog.String("key", e.Key),
+							slog.Int64("manifest_size", e.Size),
+							slog.Int64("object_size", fi.Size()))
 					}
 					continue
 				}
@@ -165,16 +190,29 @@ func (s *Store) Get(key string) ([]byte, time.Duration, bool) {
 	path, wantSum, cost := s.objectPath(key), e.Sum, e.Cost
 	s.mu.Unlock()
 
+	rd := s.tracer.Start(obs.CatStore, "read")
+	rd.SetDetail(key)
 	raw, err := os.ReadFile(path)
+	rd.SetArg("bytes", int64(len(raw)))
+	rd.End()
 	if err == nil {
-		if sum := sha256.Sum256(raw); sum == wantSum {
+		vf := s.tracer.Start(obs.CatStore, "verify")
+		vf.SetDetail(key)
+		sum := sha256.Sum256(raw)
+		match := sum == wantSum
+		vf.End()
+		if match {
 			s.hits.Add(1)
 			s.savedNS.Add(int64(cost))
 			return raw, cost, true
 		}
 	}
 	// Unreadable or rotted: drop the entry so the next Put can rebuild it.
+	// The caller only sees a miss, so the warning is the one place the
+	// damage is visible.
 	s.corruptions.Add(1)
+	s.logger.Warn("store: dropping corrupt entry, reporting miss",
+		slog.String("key", key), slog.Bool("unreadable", err != nil))
 	s.mu.Lock()
 	s.dropLocked(key)
 	s.flushLocked()
@@ -274,8 +312,18 @@ func (s *Store) gcLocked() {
 		if victim == nil {
 			return
 		}
-		s.dropLocked(victim.Key)
+		key, size := victim.Key, victim.Size
+		ev := s.tracer.Start(obs.CatStore, "evict")
+		ev.SetDetail(key)
+		ev.SetArg("bytes", size)
+		s.dropLocked(key)
+		ev.End()
 		s.evictions.Add(1)
+		s.logger.Warn("store: evicted least-recently-used entry",
+			slog.String("key", key),
+			slog.Int64("bytes", size),
+			slog.Int64("store_bytes", s.bytes),
+			slog.Int64("max_bytes", s.maxBytes))
 	}
 }
 
