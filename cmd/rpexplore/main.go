@@ -7,7 +7,9 @@
 //	rpexplore -app 416.gamess -axis L1D=1,2,3,4 -axis FpAdd=2,4,6 \
 //	          [-method rpstacks|graph|sim] [-target 0.55] [-top 10] [-n 60000] \
 //	          [-parallelism 8] [-chunk 64] [-checkpoint sweep.ckpt/] \
-//	          [-trace-out sweep.trace.json] [-progress]
+//	          [-trace-out sweep.trace.json] [-progress] [-lossless] \
+//	          [-audit-fraction 0.1] [-audit-seed 1] [-audit-oracle sim|graph] \
+//	          [-audit-drift 5] [-audit-out audit.json]
 //
 // With -checkpoint, every completed chunk of design points is persisted
 // atomically under the given directory: a killed sweep re-run with the same
@@ -19,17 +21,31 @@
 // trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
 // chrome://tracing. -progress prints a periodic points/sec + ETA line to
 // stderr, including how many chunks were restored from a checkpoint.
+//
+// With -audit-fraction, a shadow accuracy audit scores the sweep after it
+// finishes: a deterministic, fingerprint-seeded sample of design points is
+// re-derived through the chosen oracle (sim: re-run the ground-truth
+// simulator, the paper's accuracy definition; graph: re-evaluate the
+// dependence-graph model, exact for a -lossless RpStacks analysis) and the
+// per-point CPI error plus per-class stall-stack divergence is summarized —
+// and written as a JSON report to -audit-out. -lossless disables the
+// similarity merging and segmentation of the RpStacks analysis (exponential
+// in the worst case: keep -n tiny), making its predictions provably equal to
+// the graph model.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -69,6 +85,12 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "directory for crash-safe sweep resume (empty: off)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the sweep to this file (empty: off)")
 	progress := flag.Bool("progress", false, "print a periodic progress line to stderr")
+	lossless := flag.Bool("lossless", false, "disable RpStacks merging and segmentation: predictions become exactly the graph model (exponential worst case; keep -n tiny)")
+	auditFraction := flag.Float64("audit-fraction", 0, "share of design points to shadow-audit against ground truth (0: off, 1: all)")
+	auditSeed := flag.Uint64("audit-seed", 0, "seed mixed into the deterministic audit sample")
+	auditOracle := flag.String("audit-oracle", "sim", "audit ground truth: sim (re-simulate) or graph (dependence-graph model)")
+	auditDrift := flag.Float64("audit-drift", 0, "per-point CPI error percentage counted as drift (0: default threshold)")
+	auditOut := flag.String("audit-out", "", "write the audit report JSON to this file (empty: off)")
 	flag.Var(&axes, "axis", "latency axis, e.g. L1D=1,2,3,4 (repeatable)")
 	flag.Parse()
 
@@ -88,14 +110,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rpexplore: -chunk must be at least 1, got %d (omit the flag for automatic sizing)\n", *chunk)
 		os.Exit(2)
 	}
+	if *auditFraction < 0 || *auditFraction > 1 {
+		fmt.Fprintf(os.Stderr, "rpexplore: -audit-fraction must be in [0, 1], got %g\n", *auditFraction)
+		os.Exit(2)
+	}
+	if *auditOracle != "sim" && *auditOracle != "graph" {
+		fmt.Fprintf(os.Stderr, "rpexplore: -audit-oracle must be sim or graph, got %q\n", *auditOracle)
+		os.Exit(2)
+	}
+	if *auditDrift < 0 {
+		fmt.Fprintf(os.Stderr, "rpexplore: -audit-drift must be non-negative, got %g\n", *auditDrift)
+		os.Exit(2)
+	}
 
-	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk, *checkpoint, *traceOut, *progress); err != nil {
+	au := auditFlags{
+		fraction: *auditFraction,
+		seed:     *auditSeed,
+		oracle:   *auditOracle,
+		drift:    *auditDrift,
+		out:      *auditOut,
+	}
+	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk, *checkpoint, *traceOut, *progress, *lossless, au); err != nil {
 		fmt.Fprintln(os.Stderr, "rpexplore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, axes axisFlags, method string, target float64, top, n, par, chunk int, checkpoint, traceOut string, progress bool) error {
+// auditFlags bundles the shadow-audit CLI options.
+type auditFlags struct {
+	fraction float64
+	seed     uint64
+	oracle   string
+	drift    float64
+	out      string
+}
+
+func run(app string, axes axisFlags, method string, target float64, top, n, par, chunk int, checkpoint, traceOut string, progress, lossless bool, au auditFlags) error {
 	if len(axes) == 0 {
 		axes = axisFlags{
 			{Event: stacks.L1D, Values: []float64{1, 2, 3, 4}},
@@ -108,12 +158,20 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 		return err
 	}
 	r := experiments.NewRunner(n)
+	if lossless {
+		// One whole-trace segment, no path cap, no merging: the analysis
+		// carries every path and predicts exactly what the graph model does.
+		r.Opts.DisableMerge = true
+		r.Opts.MaxStacks = 0
+		r.Opts.SegmentLength = n
+	}
 	a, err := r.App(app)
 	if err != nil {
 		return err
 	}
 	points := sp.Enumerate(r.Cfg.Lat)
-	opts := dse.ExploreOptions{Parallelism: par, ChunkSize: chunk, Setup: a.SimTime + a.AnalyzeTime}
+	opts := dse.ExploreOptions{Parallelism: par, ChunkSize: chunk, Setup: a.SimTime + a.AnalyzeTime,
+		NeedFingerprint: au.fraction > 0}
 	if checkpoint != "" {
 		opts.Checkpoint = &dse.Checkpoint{Dir: checkpoint}
 	}
@@ -175,6 +233,14 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 		fmt.Printf("checkpoint: resumed %d of %d points from %s\n", rep.Resumed, len(points), checkpoint)
 	}
 
+	// The audit reads rep.Results by index, so it runs before the ranking
+	// sort below reorders them.
+	if au.fraction > 0 {
+		if err := runAudit(rep, r, a, method, au, par); err != nil {
+			return err
+		}
+	}
+
 	uops := float64(len(a.Trace.Records))
 	results := rep.Results
 	sort.Slice(results, func(i, j int) bool { return results[i].Cycles < results[j].Cycles })
@@ -204,6 +270,64 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 			mods = append(mods, fmt.Sprintf("%s=%.0f", ax.Event, res.Lat[ax.Event]))
 		}
 		fmt.Printf("  CPI %.4f  %s\n", res.Cycles/uops, strings.Join(mods, " "))
+	}
+	return nil
+}
+
+// runAudit shadow-audits the finished sweep and prints its summary. The
+// oracle recipe mirrors how the sweep itself was produced: the sim engine is
+// re-simulated cold (exactly what dse.ExploreSimOpts runs per point, so its
+// self-audit is bitwise zero), the model engines are audited against a
+// simulator warmed with the same code, data and µop prefix the analysis
+// substrate saw. -audit-oracle graph swaps in the dependence-graph model,
+// the exact reference for a -lossless RpStacks analysis.
+func runAudit(rep *dse.Report, r *experiments.Runner, a *experiments.App, method string, au auditFlags, par int) error {
+	var oracle audit.Oracle
+	switch {
+	case au.oracle == "graph":
+		oracle = &audit.GraphOracle{Graph: a.Graph}
+	case method == "sim":
+		oracle = &audit.SimOracle{Cfg: r.Cfg, UOps: a.UOps}
+	default:
+		oracle = &audit.SimOracle{
+			Cfg:       r.Cfg,
+			CodeLines: a.CodeLines,
+			DataLines: a.DataLines,
+			Warm:      a.WarmUOps,
+			UOps:      a.UOps,
+		}
+	}
+	var decompose func(*stacks.Latencies) stacks.Stack
+	switch method {
+	case "rpstacks":
+		decompose = audit.RpStacksDecompose(a.Analysis)
+	case "graph":
+		decompose = audit.GraphDecompose(a.Graph)
+	}
+	arep, err := audit.Run(rep, oracle, decompose, audit.Options{
+		Fraction:    au.fraction,
+		Seed:        au.seed,
+		DriftPct:    au.drift,
+		Parallelism: par,
+		Logger:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(arep.Summary())
+	for _, p := range arep.Worst {
+		fmt.Printf("  worst: point %d error %.4f%% (class %s)  %s\n",
+			p.Index, p.ErrorPct, p.WorstClass, p.Config())
+	}
+	if au.out != "" {
+		payload, err := json.MarshalIndent(arep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding audit report: %w", err)
+		}
+		if err := os.WriteFile(au.out, append(payload, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing audit report: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "audit: wrote %s\n", au.out)
 	}
 	return nil
 }

@@ -23,7 +23,17 @@
 //	GET  /jobs/{id}   poll one job, including its ranked results when done
 //	GET  /metrics     Prometheus text exposition
 //	GET  /healthz     liveness and queue state
+//	GET  /readyz      readiness: 503 while draining or shedding, 200 otherwise
 //	GET  /debug/trace per-job flight-recorder trace (?job=<id>&format=chrome|folded)
+//	GET  /debug/audit per-job shadow-audit accuracy report (?job=<id>)
+//
+// Jobs submitted with "audit_fraction" > 0 are shadow-audited after the
+// sweep: a deterministic sample of design points is re-run through the
+// ground-truth simulator, per-point CPI error and per-class stall-stack
+// divergence feed the rpstacks_audit_* metric families, and points whose
+// error exceeds "audit_drift_pct" flip the job's audit_status to "drift".
+// With -store-dir set, audit reports survive restarts and stay queryable
+// through GET /debug/audit.
 //
 // With -pprof-addr set, net/http/pprof runtime profiling (CPU, heap,
 // goroutine, execution trace) is served on a separate listener.

@@ -129,6 +129,13 @@ type Report struct {
 	// PerPoint still divides the loop wall-clock by the full point count, so
 	// a heavily resumed sweep reports an optimistic per-point cost.
 	Resumed int
+	// Fingerprint is the sweep's identity hash — SHA-256 over the engine,
+	// its prepared inputs and the full point list, the same binding the
+	// checkpoint layer uses. Set on every checkpointed sweep and on sweeps
+	// run with ExploreOptions.NeedFingerprint; nil otherwise. It seeds the
+	// audit sampler, which is why the audited point set is stable across
+	// resumes: the hash covers the sweep's inputs, not its schedule.
+	Fingerprint []byte
 }
 
 // Total returns the wall-clock cost of exploring n points with this
@@ -166,6 +173,13 @@ func runPoints(rep *Report, points []stacks.Latencies, opts ExploreOptions, salt
 
 	results := rep.Results
 	if opts.Checkpoint == nil {
+		if opts.NeedFingerprint {
+			fp, err := sweepFingerprint(rep.Method, salt, points)
+			if err != nil {
+				return err
+			}
+			rep.Fingerprint = fp[:]
+		}
 		wall, workers, err := sweep(len(points), opts, func(worker, lo, hi int) error {
 			for i := lo; i < hi; i++ {
 				c, err := eval(worker, i)
@@ -191,6 +205,7 @@ func runPoints(rep *Report, points []stacks.Latencies, opts ExploreOptions, salt
 	if err != nil {
 		return err
 	}
+	rep.Fingerprint = fp[:]
 	done := make([]bool, len(points))
 	restored, err := loadChunks(dir, fp, results, done, opts.Tracer, opts.TraceParent)
 	if err != nil {

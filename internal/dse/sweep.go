@@ -54,6 +54,12 @@ type ExploreOptions struct {
 	// caller (the rpserved job runner) nest the whole sweep inside its own
 	// trace. Zero roots the sweep at top level.
 	TraceParent uint64
+	// NeedFingerprint asks the sweep to compute and publish its identity
+	// hash in Report.Fingerprint even without a checkpoint, so a shadow
+	// auditor (internal/audit) can derive its deterministic point sample.
+	// Checkpointed sweeps compute the fingerprint anyway and always
+	// publish it.
+	NeedFingerprint bool
 }
 
 // workerCount returns the number of workers a sweep over n points will use.

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// An empty snapshot (disabled tracer, or a tracer that recorded nothing) must
+// still export as well-formed, loadable output: Perfetto rejects a bare
+// null/absent traceEvents array.
+func TestExportEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatalf("chrome export of empty snapshot: %v", err)
+	}
+	var out struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("empty chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if out.TraceEvents == nil || len(out.TraceEvents) != 0 {
+		t.Errorf("empty export traceEvents = %v, want present-and-empty array", out.TraceEvents)
+	}
+
+	buf.Reset()
+	if err := WriteFolded(&buf, nil); err != nil {
+		t.Fatalf("folded export of empty snapshot: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("folded export of empty snapshot = %q, want no lines", buf.String())
+	}
+
+	var disabled *Tracer
+	if got := disabled.Snapshot(); got != nil {
+		t.Errorf("nil tracer snapshot = %v, want nil", got)
+	}
+}
+
+// When the ring overwrites a parent, the orphaned child still exports: it is
+// truncated to a root of its own name in the folded view and keeps its full
+// duration, and Dropped reports exactly the overwritten count.
+func TestExportRingOverflowTruncation(t *testing.T) {
+	clock := fakeClock()
+	tr := NewTracer(2, WithClock(clock))
+	root := tr.Start("dse", "sweep")
+	for i := 0; i < 3; i++ {
+		ch := tr.StartChild(root.ID(), "dse", "chunk")
+		ch.End()
+	}
+	root.End() // 4 records through a 2-slot ring: root + newest chunk survive
+
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("snapshot length %d, want ring capacity 2", len(recs))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, recs); err != nil {
+		t.Fatalf("folded export: %v", err)
+	}
+	got := buf.String()
+	// The surviving chunk's parent is in the ring, so it nests; had the root
+	// been overwritten too it would root at its own name. Either way every
+	// line is one of the two known paths — no path may reference a dropped ID.
+	for _, line := range strings.Split(strings.TrimSpace(got), "\n") {
+		path := strings.Fields(line)[0]
+		if path != "dse:sweep" && path != "dse:sweep;dse:chunk" {
+			t.Errorf("folded path %q references a dropped span", path)
+		}
+	}
+
+	// The chrome exporter renders exactly the surviving records.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, recs); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome export JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Errorf("chrome export has %d events, want 2", len(out.TraceEvents))
+	}
+}
+
+// Zero-duration spans — common for cache hits under a coarse clock — must
+// fold to explicit zero-valued lines, and a child longer than its parent
+// (clock skew across lanes) must clamp the parent's self time at zero rather
+// than emitting a negative count.
+func TestExportFoldedZeroDuration(t *testing.T) {
+	recs := []Record{
+		{ID: 1, Cat: "cache", Name: "hit", Start: 0, Dur: 0},
+		{ID: 2, Cat: "job", Name: "run", Start: 0, Dur: 1 * time.Millisecond},
+		{ID: 3, Parent: 2, Cat: "dse", Name: "chunk", Start: 0, Dur: 2 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, recs); err != nil {
+		t.Fatalf("folded export: %v", err)
+	}
+	want := "cache:hit 0\njob:run 0\njob:run;dse:chunk 2000\n"
+	if buf.String() != want {
+		t.Errorf("folded output:\n%swant:\n%s", buf.String(), want)
+	}
+}

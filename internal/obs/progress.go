@@ -73,10 +73,12 @@ func (p *Progress) Observe(rec Record) {
 }
 
 // Flush prints the final progress line, unless Observe already printed one
-// at the current done count.
+// at the current done count or no chunk was ever observed — a sweep that
+// errors before its first chunk completes must not print a spurious
+// "0/N points" line.
 func (p *Progress) Flush() {
 	p.mu.Lock()
-	if p.printedDone == p.done {
+	if p.printedDone == p.done || (p.printedDone < 0 && p.done == 0) {
 		p.mu.Unlock()
 		return
 	}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// progressAt builds a meter with a settable injected clock, so tests control
+// exactly when the reporting interval elapses.
+func progressAt(buf *bytes.Buffer, total int, interval time.Duration) (*Progress, *time.Time) {
+	p := NewProgress(buf, total, interval)
+	base := time.Unix(0, 0)
+	now := base
+	p.now = func() time.Time { return now }
+	p.start, p.lastPrint = base, base
+	return p, &now
+}
+
+// A sweep that errors before its first chunk completes must not print a
+// spurious "0/N points" line from the deferred Flush.
+func TestProgressFlushWithoutObservations(t *testing.T) {
+	var buf bytes.Buffer
+	p, _ := progressAt(&buf, 100, time.Hour)
+	p.Flush()
+	if buf.Len() != 0 {
+		t.Errorf("flush with no observations printed %q, want nothing", buf.String())
+	}
+	// Foreign-category records do not count as progress either.
+	p.Observe(Record{Cat: CatJob, Name: NameChunk, Arg: 5})
+	p.Flush()
+	if buf.Len() != 0 {
+		t.Errorf("flush after only foreign records printed %q, want nothing", buf.String())
+	}
+}
+
+// A resumed sweep whose live chunks never reach a print still flushes a final
+// line carrying the resume summary, and restored points are excluded from
+// the evaluation rate.
+func TestProgressFlushAfterResume(t *testing.T) {
+	var buf bytes.Buffer
+	p, now := progressAt(&buf, 100, time.Hour)
+	p.Observe(Record{Cat: CatDSE, Name: NameResume, Arg: 30})
+	p.Observe(Record{Cat: CatDSE, Name: NameResume, Arg: 30})
+	*now = now.Add(10 * time.Second)
+	p.Observe(Record{Cat: CatDSE, Name: NameChunk, Arg: 20})
+	if buf.Len() != 0 {
+		t.Fatalf("premature output %q", buf.String())
+	}
+	p.Flush()
+	line := buf.String()
+	if !strings.Contains(line, "80/100 points") || !strings.Contains(line, "resumed 2 chunks (60 pts)") {
+		t.Errorf("flush line %q: want 80/100 points and resumed 2 chunks (60 pts)", line)
+	}
+	// 20 evaluated points over 10 seconds: restored points take no credit.
+	if !strings.Contains(line, "2 pts/s") {
+		t.Errorf("flush line %q: want 2 pts/s from evaluated points only", line)
+	}
+	// A second Flush at the same done count stays silent.
+	buf.Reset()
+	p.Flush()
+	if buf.Len() != 0 {
+		t.Errorf("duplicate flush printed %q", buf.String())
+	}
+}
+
+// Observe prints only once the reporting interval has elapsed, and never
+// repeats a line for an unchanged done count.
+func TestProgressIntervalPacing(t *testing.T) {
+	var buf bytes.Buffer
+	p, now := progressAt(&buf, 100, 10*time.Second)
+
+	*now = now.Add(time.Second)
+	p.Observe(Record{Cat: CatDSE, Name: NameChunk, Arg: 10})
+	if buf.Len() != 0 {
+		t.Fatalf("printed before the interval elapsed: %q", buf.String())
+	}
+	*now = now.Add(10 * time.Second)
+	p.Observe(Record{Cat: CatDSE, Name: NameChunk, Arg: 10})
+	if !strings.Contains(buf.String(), "20/100 points") {
+		t.Fatalf("line %q: want 20/100 points after the interval", buf.String())
+	}
+	// An empty chunk after the print leaves done unchanged: no repeat even
+	// though another interval has elapsed.
+	buf.Reset()
+	*now = now.Add(time.Minute)
+	p.Observe(Record{Cat: CatDSE, Name: NameChunk, Arg: 0})
+	if buf.Len() != 0 {
+		t.Errorf("repeated line for unchanged done count: %q", buf.String())
+	}
+	// Flush is a no-op at a printed count but prints fresh progress.
+	p.Observe(Record{Cat: CatDSE, Name: NameChunk, Arg: 5})
+	p.Flush()
+	if !strings.Contains(buf.String(), "25/100 points") {
+		t.Errorf("flush line %q: want 25/100 points", buf.String())
+	}
+}

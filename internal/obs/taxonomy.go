@@ -23,6 +23,9 @@ const (
 	// CatCPU covers internal/cpu simulation phases: warmup, prepare,
 	// simulate.
 	CatCPU = "cpu"
+	// CatAudit covers internal/audit: one audit root per audited sweep,
+	// one truth span per ground-truth re-derivation.
+	CatAudit = "audit"
 )
 
 const (
@@ -40,6 +43,12 @@ const (
 	NameQueueWait = "queue-wait"
 	// NameSetup is a job's combined workload + artifact setup phase.
 	NameSetup = "setup"
+	// NameAudit is the root span of one accuracy audit; Detail carries the
+	// audited engine, Arg the sampled point count.
+	NameAudit = "audit"
+	// NameTruth is one ground-truth re-derivation (oracle run); TID
+	// carries the audit worker index.
+	NameTruth = "truth"
 	// ArgPoints is the ArgKey of chunk/resume/sweep point counts.
 	ArgPoints = "points"
 )

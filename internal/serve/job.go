@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/obs"
 )
 
@@ -42,6 +43,11 @@ type Job struct {
 	finished time.Time
 	result   *JobResult
 	err      error
+	// audit is the shadow-audit outcome of an audited job; auditStatus
+	// summarizes it ("ok" or "drift") for the job view and is empty when
+	// the job did not request an audit.
+	audit       *audit.Report
+	auditStatus string
 }
 
 // Trace snapshots the job's flight recorder, oldest span first (nil when the
@@ -108,17 +114,38 @@ func (j *Job) Status() JobStatus {
 	return j.status
 }
 
+// setAudit records the job's shadow-audit outcome; the audit status the view
+// exposes flips to the report's ("drift" once any audited point exceeded the
+// threshold).
+func (j *Job) setAudit(rep *audit.Report) {
+	j.mu.Lock()
+	j.audit = rep
+	j.auditStatus = rep.Status
+	j.mu.Unlock()
+}
+
+// Audit returns the job's audit report, nil when the job was not audited
+// (or has not finished its audit yet).
+func (j *Job) Audit() *audit.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.audit
+}
+
 // jobView is the JSON shape of a job in API responses.
 type jobView struct {
-	ID        string     `json:"id"`
-	Status    JobStatus  `json:"status"`
-	Workload  string     `json:"workload,omitempty"`
-	Engine    string     `json:"engine"`
-	GridSize  int        `json:"grid_points"`
-	Submitted time.Time  `json:"submitted"`
-	RunMS     float64    `json:"run_ms,omitempty"`
-	Error     string     `json:"error,omitempty"`
-	Result    *JobResult `json:"result,omitempty"`
+	ID        string    `json:"id"`
+	Status    JobStatus `json:"status"`
+	Workload  string    `json:"workload,omitempty"`
+	Engine    string    `json:"engine"`
+	GridSize  int       `json:"grid_points"`
+	Submitted time.Time `json:"submitted"`
+	RunMS     float64   `json:"run_ms,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	// AuditStatus is "ok" or "drift" for audited jobs; the full report is
+	// served by GET /debug/audit?job=<id>.
+	AuditStatus string     `json:"audit_status,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
 }
 
 // view snapshots the job for an API response; withResult includes the full
@@ -140,6 +167,7 @@ func (j *Job) view(withResult bool) jobView {
 	if j.err != nil {
 		v.Error = j.err.Error()
 	}
+	v.AuditStatus = j.auditStatus
 	if withResult {
 		v.Result = j.result
 	}

@@ -3,8 +3,10 @@ package serve
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/obs"
 	"repro/internal/obs/prom"
 	"repro/internal/serve/cache"
@@ -35,6 +37,14 @@ var jobStatuses = []JobStatus{JobDone, JobFailed, JobTimeout, JobCanceled}
 // in render order.
 var stageNames = []string{"queue-wait", "setup", "chunk-evaluate"}
 
+// auditErrBuckets are the per-point audit CPI-error histogram bounds in
+// percent: the paper's headline accuracy lands around 1%, so the low buckets
+// resolve healthy operation and the high ones resolve drift.
+var auditErrBuckets = []float64{0.01, 0.1, 0.5, 1, 2, 5, 10, 25, 100}
+
+// auditOutcomes are the audit point-counter labels, in render order.
+var auditOutcomes = []string{"audited", "skipped_budget"}
+
 // metrics holds the service's owned metric handles plus the registry that
 // renders everything.
 type metrics struct {
@@ -46,6 +56,11 @@ type metrics struct {
 	finished  *prom.CounterVec
 	sweeps    *prom.HistogramVec
 	stages    *prom.HistogramVec
+
+	auditErrors     *prom.Histogram
+	auditDivergence *prom.HistogramVec
+	auditPoints     *prom.CounterVec
+	auditDrift      *prom.Counter
 }
 
 func newMetrics() *metrics {
@@ -61,6 +76,15 @@ func newMetrics() *metrics {
 			"Per-engine design-space sweep wall-clock.", sweepBuckets, "engine"),
 		stages: reg.HistogramVec("rpstacks_stage_duration_seconds",
 			"Span-derived job lifecycle stage durations.", stageBuckets, "stage"),
+		auditErrors: reg.Histogram("rpstacks_audit_error_pct",
+			"Per-point shadow-audit CPI error, percent of ground truth.", auditErrBuckets),
+		auditDivergence: reg.HistogramVec("rpstacks_audit_divergence_pct",
+			"Per-point stall-stack divergence by penalty class, percent of ground-truth cycles.",
+			auditErrBuckets, "class"),
+		auditPoints: reg.CounterVec("rpstacks_audit_points_total",
+			"Sampled audit points by outcome.", "outcome"),
+		auditDrift: reg.Counter("rpstacks_audit_drift_total",
+			"Audited points whose prediction error exceeded the drift threshold."),
 	}
 	// Pre-create every labelled row so the exposition is complete and its
 	// order deterministic from the first scrape.
@@ -73,7 +97,58 @@ func newMetrics() *metrics {
 	for _, stage := range stageNames {
 		m.stages.With(stage)
 	}
+	for _, class := range audit.ClassNames() {
+		m.auditDivergence.With(class)
+	}
+	for _, outcome := range auditOutcomes {
+		m.auditPoints.With(outcome)
+	}
+	registerBuildInfo(reg)
 	return m
+}
+
+// registerBuildInfo exports the binary's identity as the conventional
+// constant-1 info gauge, so dashboards can join error rates to the exact
+// build that produced them. Fields the build left unstamped (no VCS in the
+// test sandbox, a devel toolchain) render as "unknown" rather than vanishing.
+func registerBuildInfo(reg *prom.Registry) {
+	goVersion, version, revision, vcsTime := "unknown", "unknown", "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				revision = kv.Value
+			case "vcs.time":
+				vcsTime = kv.Value
+			}
+		}
+	}
+	reg.GaugeVec("rpstacks_build_info",
+		"Build metadata of the serving binary; the value is always 1.",
+		"go_version", "version", "revision", "vcs_time").
+		With(goVersion, version, revision, vcsTime).Set(1)
+}
+
+// observeAuditPoint feeds one audited point into the accuracy families; it
+// is the audit run's OnPoint hook. The exemplar carries the point's latency
+// configuration plus the job and trace identity, so the worst observation
+// names the design point that produced it.
+func (m *metrics) observeAuditPoint(p audit.PointAudit, jobID, digest string) {
+	m.auditErrors.ObserveExemplar(p.ErrorPct,
+		fmt.Sprintf("job_id=%q,trace_digest=%q,config=%q", jobID, digest, p.Config()))
+	for class, pct := range p.Divergence {
+		m.auditDivergence.With(class).Observe(pct)
+	}
+	if p.Drift {
+		m.auditDrift.Inc()
+	}
+	m.auditPoints.With("audited").Inc()
 }
 
 func (m *metrics) jobFinished(st JobStatus) {

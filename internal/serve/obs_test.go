@@ -185,6 +185,46 @@ func TestMetricsRoundTrip(t *testing.T) {
 		t.Error("exposition missing the slow-sweep exemplar comment")
 	}
 
+	// The build-info gauge renders exactly once, value 1, with every label
+	// populated (unstamped fields fall back to "unknown", never "").
+	infos := 0
+	for _, smp := range samples {
+		if smp.name != "rpstacks_build_info" {
+			continue
+		}
+		infos++
+		if smp.value != 1 {
+			t.Errorf("rpstacks_build_info value %g, want 1", smp.value)
+		}
+		for _, lbl := range []string{"go_version", "version", "revision", "vcs_time"} {
+			if smp.labels[lbl] == "" {
+				t.Errorf("rpstacks_build_info label %s is empty", lbl)
+			}
+		}
+	}
+	if infos != 1 {
+		t.Errorf("rpstacks_build_info rendered %d times, want exactly 1", infos)
+	}
+
+	// The audit families render from the first scrape — all-zero here, since
+	// the job was not audited — with every class and outcome row pre-created.
+	for _, class := range []string{"icache", "dcache", "branch", "resource"} {
+		key := `rpstacks_audit_divergence_pct_count{class="` + class + `"}`
+		if v := metricValue(t, exp, key); v != 0 {
+			t.Errorf("unaudited run has %s = %g, want 0", key, v)
+		}
+	}
+	for _, sample := range []string{
+		`rpstacks_audit_points_total{outcome="audited"}`,
+		`rpstacks_audit_points_total{outcome="skipped_budget"}`,
+		"rpstacks_audit_drift_total",
+		"rpstacks_audit_error_pct_count",
+	} {
+		if v := metricValue(t, exp, sample); v != 0 {
+			t.Errorf("unaudited run has %s = %g, want 0", sample, v)
+		}
+	}
+
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}

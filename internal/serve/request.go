@@ -46,6 +46,10 @@ type Limits struct {
 	// DefaultTop and DefaultMicroOps fill omitted request fields.
 	DefaultTop      int
 	DefaultMicroOps int
+	// MaxAuditPoints caps how many design points one job's shadow audit may
+	// re-simulate, whatever audit_fraction asks for — ground truth costs a
+	// full simulation per point, so the fraction alone is not a bound.
+	MaxAuditPoints int
 }
 
 // DefaultLimits returns the service defaults.
@@ -64,6 +68,7 @@ func DefaultLimits() Limits {
 		DefaultParallelism: 0, // Server.New fills this from its Config
 		DefaultTop:         10,
 		DefaultMicroOps:    20_000,
+		MaxAuditPoints:     64,
 	}
 }
 
@@ -82,6 +87,17 @@ type JobRequest struct {
 	Seed        int64    `json:"seed,omitempty"`        // workload jobs: generator seed
 	Parallelism int      `json:"parallelism,omitempty"` // sweep workers
 	TimeoutMS   int64    `json:"timeout_ms,omitempty"`  // per-job deadline
+
+	// AuditFraction enables the shadow accuracy audit: the share of the
+	// design grid whose ground truth is re-simulated and scored against the
+	// sweep's predictions (0: off, 1: every point, subject to
+	// Limits.MaxAuditPoints). Named-workload rpstacks/graph jobs only.
+	AuditFraction float64 `json:"audit_fraction,omitempty"`
+	// AuditSeed varies the deterministic point sample.
+	AuditSeed uint64 `json:"audit_seed,omitempty"`
+	// AuditDriftPct overrides the per-point error threshold (percent)
+	// beyond which the job's audit status flips to drift (0: the default).
+	AuditDriftPct float64 `json:"audit_drift_pct,omitempty"`
 }
 
 // JobSpec is the validated, executable form of a JobRequest.
@@ -98,6 +114,10 @@ type JobSpec struct {
 	Seed        int64
 	Parallelism int
 	Timeout     time.Duration
+
+	AuditFraction float64
+	AuditSeed     uint64
+	AuditDriftPct float64
 }
 
 // ParseJobRequest decodes and validates one job submission against the
@@ -210,6 +230,26 @@ func (req *JobRequest) validate(lim Limits) (*JobSpec, error) {
 	if math.IsNaN(req.TargetCPI) || math.IsInf(req.TargetCPI, 0) || req.TargetCPI < 0 {
 		return nil, fmt.Errorf("serve: target_cpi %g is not a finite non-negative value", req.TargetCPI)
 	}
+
+	// Shadow audit: ground truth is a re-simulation of the named workload,
+	// so trace uploads cannot be audited; auditing the sim engine would
+	// re-simulate what was already simulated.
+	switch {
+	case math.IsNaN(req.AuditFraction) || math.IsInf(req.AuditFraction, 0) ||
+		req.AuditFraction < 0 || req.AuditFraction > 1:
+		return nil, fmt.Errorf("serve: audit_fraction %g outside [0, 1]", req.AuditFraction)
+	case req.AuditFraction > 0 && req.Workload == "":
+		return nil, fmt.Errorf("serve: the audit re-simulates ground truth and needs a named workload, not a trace upload")
+	case req.AuditFraction > 0 && spec.Engine == "sim":
+		return nil, fmt.Errorf("serve: the sim engine is already ground truth; audit applies to rpstacks and graph jobs")
+	case req.AuditFraction == 0 && (req.AuditSeed != 0 || req.AuditDriftPct != 0):
+		return nil, fmt.Errorf("serve: audit_seed and audit_drift_pct need audit_fraction > 0")
+	case math.IsNaN(req.AuditDriftPct) || math.IsInf(req.AuditDriftPct, 0) || req.AuditDriftPct < 0:
+		return nil, fmt.Errorf("serve: audit_drift_pct %g is not a finite non-negative value", req.AuditDriftPct)
+	}
+	spec.AuditFraction = req.AuditFraction
+	spec.AuditSeed = req.AuditSeed
+	spec.AuditDriftPct = req.AuditDriftPct
 
 	// Subject-specific fields.
 	if req.Workload != "" {

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/serve/cache"
+	"repro/internal/stacks"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -213,7 +215,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/audit", s.handleAudit)
 	s.registerCollectors()
 
 	s.wg.Add(cfg.Workers)
@@ -368,6 +372,9 @@ func (s *Server) execute(ctx context.Context, job *Job) (*JobResult, error) {
 		Setup:       setupWall,
 		Tracer:      job.tracer,
 		TraceParent: job.root.ID(),
+		// Audited jobs need the sweep fingerprint: it seeds the auditor's
+		// deterministic point sample.
+		NeedFingerprint: spec.AuditFraction > 0,
 	}
 	var rep *dse.Report
 	var err error
@@ -386,8 +393,92 @@ func (s *Server) execute(ctx context.Context, job *Job) (*JobResult, error) {
 	}
 	s.metrics.observeSweep(spec.Engine, rep.Wall,
 		fmt.Sprintf("job_id=%q,trace_digest=%q", job.ID, digest))
+
+	// Phase 4 (audited jobs only): the shadow accuracy audit. It reads the
+	// sweep report, re-simulates a fingerprint-sampled subset of points
+	// under the remaining job deadline, and never changes the job's
+	// predictions — a drifting audit flips the audit status, not the result.
+	if spec.AuditFraction > 0 {
+		if err := s.auditSweep(ctx, job, rep, art, digest, par); err != nil {
+			return nil, err
+		}
+	}
 	return rankResults(spec, tr, digest, rep, setupWall, cached), nil
 }
+
+// auditSweep runs the shadow audit of a finished sweep and publishes its
+// report: onto the job (audit status + /debug/audit), into the durable store
+// when one is mounted (so the report survives restarts), and into the audit
+// metric families point by point.
+func (s *Server) auditSweep(ctx context.Context, job *Job, rep *dse.Report, art *setupArtifacts, digest string, par int) error {
+	spec := job.Spec
+	// The oracle replays the exact ground-truth recipe of the sweep's
+	// baseline trace: regenerate the deterministic µop stream (cheap), warm,
+	// and re-simulate at each audited point.
+	gen, stream, cut, err := measuredRegion(spec)
+	if err != nil {
+		return err
+	}
+	oracle := &audit.SimOracle{
+		Cfg:       s.cfg.BaseConfig,
+		CodeLines: gen.CodeLines(),
+		DataLines: gen.DataLines(),
+		Warm:      stream[:cut],
+		UOps:      stream[cut:],
+	}
+	var decompose func(*stacks.Latencies) stacks.Stack
+	switch spec.Engine {
+	case "rpstacks":
+		decompose = audit.RpStacksDecompose(art.analysis)
+	case "graph":
+		decompose = audit.GraphDecompose(art.graph)
+	}
+	arep, err := audit.Run(rep, oracle, decompose, audit.Options{
+		Fraction:    spec.AuditFraction,
+		Seed:        spec.AuditSeed,
+		MaxPoints:   s.cfg.Limits.MaxAuditPoints,
+		Parallelism: par,
+		DriftPct:    spec.AuditDriftPct,
+		Logger:      s.logger,
+		JobID:       job.ID,
+		Context:     ctx,
+		Tracer:      job.tracer,
+		TraceParent: job.root.ID(),
+		OnPoint: func(p audit.PointAudit) {
+			s.metrics.observeAuditPoint(p, job.ID, digest)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("serve: auditing sweep: %w", err)
+	}
+	s.metrics.auditPoints.With("skipped_budget").Add(float64(arep.Skipped))
+	job.setAudit(arep)
+	if arep.Status != "ok" {
+		s.logger.Warn("audit drift: job predictions exceeded the error threshold",
+			slog.String("job_id", job.ID),
+			slog.String("trace_digest", digest),
+			slog.Float64("max_error_pct", arep.MaxErrorPct),
+			slog.Int("drifted", arep.Drifted))
+	}
+	if s.store != nil {
+		payload, err := json.Marshal(arep)
+		if err != nil {
+			return fmt.Errorf("serve: encoding audit report: %w", err)
+		}
+		if err := s.store.Put(auditKey(job.ID), payload, 0); err != nil {
+			// Persistence is best-effort: the report still serves from
+			// memory for the job's retained lifetime.
+			s.logger.Warn("audit report not persisted",
+				slog.String("job_id", job.ID), slog.String("error", err.Error()))
+		}
+	}
+	return nil
+}
+
+// auditKey is the durable-store key of one job's audit report. Job IDs are
+// sequential per process, so a restarted service eventually reuses them and
+// overwrites the older report — acceptable for a debugging artifact.
+func auditKey(jobID string) string { return "audit|" + jobID }
 
 // workloadKey identifies one named-workload simulation; the analysis layer
 // above it is keyed by content digest instead.
@@ -753,4 +844,53 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"queue_depth": len(s.queue),
 		"workers":     s.cfg.Workers,
 	})
+}
+
+// handleReady is the load-balancer readiness probe, distinct from /healthz
+// (which always answers 200 while the process lives): a draining server and
+// a server whose queue is full — the state in which submissions are being
+// shed with 429 — both answer 503 so traffic is routed elsewhere first.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	case len(s.queue) == cap(s.queue):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":      "shedding",
+			"queue_depth": len(s.queue),
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":      "ready",
+			"queue_depth": len(s.queue),
+		})
+	}
+}
+
+// handleAudit serves a job's shadow-audit report: from the live job when it
+// is still retained, falling back to the durable store — which is how the
+// report outlives a service restart.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("job")
+	if job, ok := s.lookup(id); ok {
+		if arep := job.Audit(); arep != nil {
+			writeJSON(w, http.StatusOK, arep)
+			return
+		}
+		if job.Spec.AuditFraction > 0 && job.Status() != JobDone {
+			errJSON(w, http.StatusNotFound, "job %s has no audit report yet", id)
+			return
+		}
+		errJSON(w, http.StatusNotFound, "job %s was not audited (submit with audit_fraction > 0)", id)
+		return
+	}
+	if s.store != nil {
+		if raw, _, ok := s.store.Get(auditKey(id)); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(raw)
+			return
+		}
+	}
+	errJSON(w, http.StatusNotFound, "no audit report for job %q", id)
 }
