@@ -382,14 +382,19 @@ func BenchmarkExploreRpStacks1000(b *testing.B) {
 	b.ReportMetric(float64(len(points)), "points")
 }
 
-// --- Serial vs sharded sweep pairs --------------------------------------
+// --- Serial / parallel / batched sweep triplets --------------------------
 //
-// Each pair runs the identical sweep serially and sharded over
-// GOMAXPROCS workers; on a multicore host the parallel member's ns/op
-// should beat its serial sibling roughly by the worker count (compare with
-// `go test -bench='ExploreGraph(Serial|Parallel)' -benchmem`). The graph
-// pair also demonstrates the Evaluator reuse: allocations stay O(workers)
-// per sweep instead of one O(nodes) distance buffer per design point.
+// Each triplet runs the identical sweep three ways: serially with the scalar
+// per-point evaluator (BatchSize 1), sharded over GOMAXPROCS scalar workers,
+// and batched (K design points per model pass, serial and sharded). On a
+// multicore host the parallel member's ns/op should beat its serial sibling
+// roughly by the worker count, and the batched members beat their scalar
+// siblings at equal worker count by amortizing model traffic across lanes
+// (compare with `go test -bench='ExploreGraph(Serial|Parallel|Batched)'
+// -benchmem`). All members produce bit-identical Results — the triplets
+// measure execution strategy only. The graph members also demonstrate the
+// evaluator reuse: allocations stay O(workers) per sweep instead of one
+// O(nodes) distance buffer per design point.
 
 // benchSweepSpace is the point list the sweep pairs walk.
 func benchSweepSpace(base stacks.Latencies) []stacks.Latencies {
@@ -402,58 +407,88 @@ func benchSweepSpace(base stacks.Latencies) []stacks.Latencies {
 	return sp.Enumerate(base)
 }
 
-func benchExploreGraph(b *testing.B, workers int) {
+func benchExploreGraph(b *testing.B, workers, batch int) {
 	r := benchRunner()
 	a, err := r.App("416.gamess")
 	if err != nil {
 		b.Fatal(err)
 	}
 	points := benchSweepSpace(r.Cfg.Lat)
-	opts := dse.ExploreOptions{Parallelism: workers}
+	opts := dse.ExploreOptions{Parallelism: workers, BatchSize: batch}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var width int
 	for i := 0; i < b.N; i++ {
-		if _, err := dse.ExploreGraphOpts(a.Graph, points, opts); err != nil {
+		rep, err := dse.ExploreGraphOpts(a.Graph, points, opts)
+		if err != nil {
 			b.Fatal(err)
 		}
+		width = rep.Batch
 	}
 	b.ReportMetric(float64(len(points)), "points")
 	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(float64(width), "lanes")
 }
 
-// BenchmarkExploreGraphSerial is the one-worker graph-reconstruction sweep.
-func BenchmarkExploreGraphSerial(b *testing.B) { benchExploreGraph(b, 1) }
+// BenchmarkExploreGraphSerial is the one-worker scalar graph-reconstruction
+// sweep (BatchSize 1: one pass over the graph per design point).
+func BenchmarkExploreGraphSerial(b *testing.B) { benchExploreGraph(b, 1, 1) }
 
-// BenchmarkExploreGraphParallel is the same sweep sharded over GOMAXPROCS
-// workers, one reusable evaluator each.
+// BenchmarkExploreGraphParallel is the same scalar sweep sharded over
+// GOMAXPROCS workers, one reusable evaluator each.
 func BenchmarkExploreGraphParallel(b *testing.B) {
-	benchExploreGraph(b, runtime.GOMAXPROCS(0))
+	benchExploreGraph(b, runtime.GOMAXPROCS(0), 1)
 }
 
-func benchExploreRpStacksSweep(b *testing.B, workers int) {
+// BenchmarkExploreGraphBatched is the one-worker batched sweep: K design
+// points per pass over the graph (autotuned width). Its speedup over
+// BenchmarkExploreGraphSerial is the per-worker gain of lane batching.
+func BenchmarkExploreGraphBatched(b *testing.B) { benchExploreGraph(b, 1, 0) }
+
+// BenchmarkExploreGraphBatchedParallel stacks both axes: GOMAXPROCS workers,
+// each evaluating K lanes per graph pass.
+func BenchmarkExploreGraphBatchedParallel(b *testing.B) {
+	benchExploreGraph(b, runtime.GOMAXPROCS(0), 0)
+}
+
+func benchExploreRpStacksSweep(b *testing.B, workers, batch int) {
 	r := benchRunner()
 	a, err := r.App("416.gamess")
 	if err != nil {
 		b.Fatal(err)
 	}
 	points := benchSweepSpace(r.Cfg.Lat)
-	opts := dse.ExploreOptions{Parallelism: workers}
+	opts := dse.ExploreOptions{Parallelism: workers, BatchSize: batch}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var width int
 	for i := 0; i < b.N; i++ {
-		if _, err := dse.ExploreRpStacksOpts(a.Analysis, points, opts); err != nil {
+		rep, err := dse.ExploreRpStacksOpts(a.Analysis, points, opts)
+		if err != nil {
 			b.Fatal(err)
 		}
+		width = rep.Batch
 	}
 	b.ReportMetric(float64(len(points)), "points")
 	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(float64(width), "lanes")
 }
 
-// BenchmarkExploreRpStacksSerial is the one-worker RpStacks sweep.
-func BenchmarkExploreRpStacksSerial(b *testing.B) { benchExploreRpStacksSweep(b, 1) }
+// BenchmarkExploreRpStacksSerial is the one-worker scalar RpStacks sweep.
+func BenchmarkExploreRpStacksSerial(b *testing.B) { benchExploreRpStacksSweep(b, 1, 1) }
 
-// BenchmarkExploreRpStacksParallel shards the RpStacks sweep over GOMAXPROCS
-// workers sharing the read-only analysis.
+// BenchmarkExploreRpStacksParallel shards the scalar RpStacks sweep over
+// GOMAXPROCS workers sharing the read-only analysis.
 func BenchmarkExploreRpStacksParallel(b *testing.B) {
-	benchExploreRpStacksSweep(b, runtime.GOMAXPROCS(0))
+	benchExploreRpStacksSweep(b, runtime.GOMAXPROCS(0), 1)
+}
+
+// BenchmarkExploreRpStacksBatched is the one-worker batched RpStacks sweep:
+// the representative stacks are re-weighted for K design points per pass.
+func BenchmarkExploreRpStacksBatched(b *testing.B) { benchExploreRpStacksSweep(b, 1, 0) }
+
+// BenchmarkExploreRpStacksBatchedParallel stacks both axes for the RpStacks
+// engine.
+func BenchmarkExploreRpStacksBatchedParallel(b *testing.B) {
+	benchExploreRpStacksSweep(b, runtime.GOMAXPROCS(0), 0)
 }

@@ -6,7 +6,7 @@
 //
 //	rpexplore -app 416.gamess -axis L1D=1,2,3,4 -axis FpAdd=2,4,6 \
 //	          [-method rpstacks|graph|sim] [-target 0.55] [-top 10] [-n 60000] \
-//	          [-parallelism 8] [-chunk 64] [-checkpoint sweep.ckpt/] \
+//	          [-parallelism 8] [-chunk 64] [-batch 8] [-checkpoint sweep.ckpt/] \
 //	          [-trace-out sweep.trace.json] [-progress] [-lossless] \
 //	          [-audit-fraction 0.1] [-audit-seed 1] [-audit-oracle sim|graph] \
 //	          [-audit-drift 5] [-audit-out audit.json]
@@ -16,6 +16,12 @@
 // flags resumes where it stopped and returns results identical to an
 // uninterrupted run. A directory written by a different sweep (other
 // method, workload or axes) is rejected.
+//
+// With -batch, the graph and rpstacks engines evaluate that many design
+// points per pass over their model (0, the default, autotunes the width; 1
+// forces the scalar per-point path; sim is always scalar). Batching is an
+// execution detail: results, fingerprints and checkpoints are identical at
+// every width.
 //
 // With -trace-out, the sweep's span flight recorder is exported as Chrome
 // trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
@@ -82,6 +88,7 @@ func main() {
 	n := flag.Int("n", 60000, "measured µops")
 	par := flag.Int("parallelism", runtime.GOMAXPROCS(0), "sweep workers (1: serial)")
 	chunk := flag.Int("chunk", 0, "design points per work unit (0: automatic)")
+	batch := flag.Int("batch", 0, "design points per model pass for the graph and rpstacks engines (0: autotuned, 1: scalar; results are identical at every width)")
 	checkpoint := flag.String("checkpoint", "", "directory for crash-safe sweep resume (empty: off)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the sweep to this file (empty: off)")
 	progress := flag.Bool("progress", false, "print a periodic progress line to stderr")
@@ -110,6 +117,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rpexplore: -chunk must be at least 1, got %d (omit the flag for automatic sizing)\n", *chunk)
 		os.Exit(2)
 	}
+	if *batch < 0 {
+		fmt.Fprintf(os.Stderr, "rpexplore: -batch must be non-negative, got %d (0 autotunes the width)\n", *batch)
+		os.Exit(2)
+	}
 	if *auditFraction < 0 || *auditFraction > 1 {
 		fmt.Fprintf(os.Stderr, "rpexplore: -audit-fraction must be in [0, 1], got %g\n", *auditFraction)
 		os.Exit(2)
@@ -130,7 +141,7 @@ func main() {
 		drift:    *auditDrift,
 		out:      *auditOut,
 	}
-	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk, *checkpoint, *traceOut, *progress, *lossless, au); err != nil {
+	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk, *batch, *checkpoint, *traceOut, *progress, *lossless, au); err != nil {
 		fmt.Fprintln(os.Stderr, "rpexplore:", err)
 		os.Exit(1)
 	}
@@ -145,7 +156,7 @@ type auditFlags struct {
 	out      string
 }
 
-func run(app string, axes axisFlags, method string, target float64, top, n, par, chunk int, checkpoint, traceOut string, progress, lossless bool, au auditFlags) error {
+func run(app string, axes axisFlags, method string, target float64, top, n, par, chunk, batch int, checkpoint, traceOut string, progress, lossless bool, au auditFlags) error {
 	if len(axes) == 0 {
 		axes = axisFlags{
 			{Event: stacks.L1D, Values: []float64{1, 2, 3, 4}},
@@ -170,8 +181,8 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 		return err
 	}
 	points := sp.Enumerate(r.Cfg.Lat)
-	opts := dse.ExploreOptions{Parallelism: par, ChunkSize: chunk, Setup: a.SimTime + a.AnalyzeTime,
-		NeedFingerprint: au.fraction > 0}
+	opts := dse.ExploreOptions{Parallelism: par, ChunkSize: chunk, BatchSize: batch,
+		Setup: a.SimTime + a.AnalyzeTime, NeedFingerprint: au.fraction > 0}
 	if checkpoint != "" {
 		opts.Checkpoint = &dse.Checkpoint{Dir: checkpoint}
 	}
@@ -231,6 +242,9 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 	elapsed := rep.Wall
 	if rep.Resumed > 0 {
 		fmt.Printf("checkpoint: resumed %d of %d points from %s\n", rep.Resumed, len(points), checkpoint)
+	}
+	if rep.Batch > 1 {
+		fmt.Printf("batch: %d design points per model pass\n", rep.Batch)
 	}
 
 	// The audit reads rep.Results by index, so it runs before the ranking

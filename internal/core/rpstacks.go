@@ -208,7 +208,9 @@ func AnalyzeGraph(g *depgraph.Graph, baseline *stacks.Latencies, opts Options) [
 //
 // Predict only reads the analysis, so any number of goroutines may call it
 // concurrently on a shared Analysis — parallel design-space sweeps
-// (dse.ExploreRpStacksOpts) rely on this.
+// (dse.ExploreRpStacksOpts) rely on this. Dense sweeps should prefer
+// PredictBatch / BatchPredictor, which re-weight the stacks for K design
+// points per pass with bit-identical results.
 func (a *Analysis) Predict(l *stacks.Latencies) float64 {
 	var total float64
 	for i := range a.Segments {

@@ -62,5 +62,24 @@ func TestEvaluatorAllocFree(t *testing.T) {
 	}); n != 0 {
 		t.Errorf("CriticalPath allocates %.1f per run after warmup, want 0", n)
 	}
+
+	// The batched form carries the same budget: construction owns every
+	// buffer (distance lanes, weight-class table, per-batch cycle rows), so
+	// re-evaluating batches — full or ragged — allocates nothing.
+	be := g.NewBatchEvaluator(len(lats))
+	out := make([]int64, len(lats))
+	be.LongestPaths(lats, out) // warm up
+	if n := testing.AllocsPerRun(50, func() {
+		be.LongestPaths(lats, out)
+		sink += out[0]
+	}); n != 0 {
+		t.Errorf("LongestPaths allocates %.1f per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		be.LongestPaths(lats[:3], out[:3])
+		sink += out[2]
+	}); n != 0 {
+		t.Errorf("ragged LongestPaths allocates %.1f per run, want 0", n)
+	}
 	_ = sink
 }

@@ -17,6 +17,7 @@ package depgraph
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/config"
 	"repro/internal/isa"
@@ -114,6 +115,36 @@ type Graph struct {
 	nodeStart []int32
 	nodeCnt   []int32
 	evalOrder []NodeID
+
+	// Weight-class table, computed lazily by weightClasses for batched
+	// evaluation: wid[i] indexes edges[i].W within wclasses. A property of
+	// the edge set, shared by every BatchEvaluator over this graph.
+	wonce    sync.Once
+	wid      []int32
+	wclasses []Weight
+}
+
+// weightClasses deduplicates the edge weights once per graph: edges share few
+// distinct Weight values (pipeline width, cache levels and port counts bound
+// them), so batched evaluators precompute per-batch latency rows per class
+// instead of per edge. Safe for concurrent callers; the graph stays
+// logically read-only.
+func (g *Graph) weightClasses() ([]int32, []Weight) {
+	g.wonce.Do(func() {
+		g.wid = make([]int32, len(g.edges))
+		seen := make(map[Weight]int32, 64)
+		for i := range g.edges {
+			w := g.edges[i].W
+			id, ok := seen[w]
+			if !ok {
+				id = int32(len(g.wclasses))
+				g.wclasses = append(g.wclasses, w)
+				seen[w] = id
+			}
+			g.wid[i] = id
+		}
+	})
+	return g.wid, g.wclasses
 }
 
 // NumMicroOps returns the window length.

@@ -12,6 +12,12 @@ import (
 // The Graph itself is never written during evaluation, so any number of
 // Evaluators over the same Graph may run concurrently — one per sweep worker.
 // A single Evaluator is NOT goroutine-safe: its buffers are the whole point.
+//
+// Dense sweeps that evaluate many design points against one graph should
+// prefer BatchEvaluator, which walks the graph once per K points instead of
+// once per point and produces bit-identical results; Evaluator remains the
+// right tool for single evaluations and for CriticalPath, which has no
+// batched form.
 type Evaluator struct {
 	g      *Graph
 	dist   []int64
@@ -98,21 +104,28 @@ func (e *Evaluator) CriticalPath(l *stacks.Latencies) (int64, stacks.Stack) {
 // last µop). Re-running this per design point is the Fields-style graph
 // reconstruction method the paper compares against: O(edges) per point.
 //
-// Each call allocates a fresh O(nodes) scratch; sweeps that evaluate many
-// design points should reuse a NewEvaluator instead.
+// This convenience form builds a throwaway Evaluator, allocating one
+// O(nodes) distance buffer per call. Sweeps that evaluate many design points
+// should reuse a NewEvaluator (zero allocations per point) or, denser still,
+// a NewBatchEvaluator (one graph walk per K points).
 func (g *Graph) LongestPath(l *stacks.Latencies) int64 {
 	return g.NewEvaluator().LongestPath(l)
 }
 
 // CriticalPath evaluates the graph under a latency assignment and returns
 // both the longest-path length and the stall-event stack of one longest path.
-// See Evaluator.CriticalPath; this convenience form allocates per call.
+// See Evaluator.CriticalPath; this convenience form builds a throwaway
+// Evaluator, allocating its distance and parent buffers (two O(nodes)
+// slices) per call.
 func (g *Graph) CriticalPath(l *stacks.Latencies) (int64, stacks.Stack) {
 	return g.NewEvaluator().CriticalPath(l)
 }
 
 // Dists exposes the per-node longest-path distances for diagnostics and
-// tests. The returned slice is freshly allocated and owned by the caller.
+// tests. The returned slice is the throwaway Evaluator's internal buffer;
+// since nothing else references that Evaluator, the caller effectively owns
+// the slice and may retain or modify it — unlike Evaluator.Dists, whose
+// buffer is invalidated by the next evaluation.
 func (g *Graph) Dists(l *stacks.Latencies) []int64 {
 	return g.NewEvaluator().Dists(l)
 }

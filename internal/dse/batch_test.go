@@ -1,0 +1,248 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBatchedSweepsMatchScalar is the sweep-level batch-vs-scalar
+// differential: for both batch-capable engines, every explicit lane width —
+// one, odd widths forcing ragged final batches inside chunks, the autotuner
+// candidates, a width wider than the point list — crossed with serial,
+// parallel and tiny-chunk shapes must reproduce the forced-scalar sweep's
+// Results bit for bit. Run under -race it also proves per-worker batch
+// scratches do not race.
+func TestBatchedSweepsMatchScalar(t *testing.T) {
+	_, g, a, pts := prepareWorkload(t, "429.mcf", 11, 4000, 30)
+
+	grScalar, _ := ExploreGraphOpts(g, pts, ExploreOptions{BatchSize: 1})
+	rpScalar, _ := ExploreRpStacksOpts(a, pts, ExploreOptions{BatchSize: 1})
+	if grScalar.Batch != 1 || rpScalar.Batch != 1 {
+		t.Fatalf("BatchSize 1 resolved to widths %d/%d, want 1/1", grScalar.Batch, rpScalar.Batch)
+	}
+
+	shapes := []ExploreOptions{
+		{},
+		{Parallelism: 4, ChunkSize: 5},
+		{Parallelism: 3, ChunkSize: 1},
+		{Parallelism: 8},
+	}
+	for _, k := range []int{1, 2, 3, 7, 8, 64, len(pts)} {
+		wantWidth := k
+		if wantWidth > len(pts) {
+			wantWidth = len(pts) // explicit widths clamp to the point count
+		}
+		for si, shape := range shapes {
+			shape.BatchSize = k
+			gr, err := ExploreGraphOpts(g, pts, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gr.Batch != wantWidth {
+				t.Fatalf("graph k=%d shape %d: Report.Batch = %d, want %d", k, si, gr.Batch, wantWidth)
+			}
+			sameResults(t, "graph batched", grScalar.Results, gr.Results)
+			rp, err := ExploreRpStacksOpts(a, pts, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rp.Batch != wantWidth {
+				t.Fatalf("rpstacks k=%d shape %d: Report.Batch = %d, want %d", k, si, rp.Batch, wantWidth)
+			}
+			sameResults(t, "rpstacks batched", rpScalar.Results, rp.Results)
+		}
+	}
+
+	// The default (autotuned) width on a sweep below the probe threshold is
+	// the fixed default, and its results still match.
+	grAuto, _ := ExploreGraphOpts(g, pts, ExploreOptions{})
+	if grAuto.Batch != defaultBatchWidth {
+		t.Fatalf("autotuned small sweep resolved width %d, want default %d", grAuto.Batch, defaultBatchWidth)
+	}
+	sameResults(t, "graph autotuned", grScalar.Results, grAuto.Results)
+}
+
+// TestPickBatchWidth covers the autotuner's resolution rules directly:
+// explicit widths clamp to the point count and bypass both the probe and the
+// memory cap; small sweeps take the (capped) default without probing; large
+// sweeps probe only candidates within the point count and the cap and keep
+// the best per-point time.
+func TestPickBatchWidth(t *testing.T) {
+	noProbe := func(int) time.Duration { t.Fatal("probe called"); return 0 }
+	if w := pickBatchWidth(5, 100, 0, noProbe); w != 5 {
+		t.Errorf("explicit width: got %d, want 5", w)
+	}
+	if w := pickBatchWidth(64, 10, 0, noProbe); w != 10 {
+		t.Errorf("explicit width beyond point count: got %d, want 10", w)
+	}
+	if w := pickBatchWidth(64, 10, 2, noProbe); w != 10 {
+		t.Errorf("explicit width must ignore the memory cap: got %d, want 10", w)
+	}
+	if w := pickBatchWidth(0, 0, 0, noProbe); w != 1 {
+		t.Errorf("empty sweep: got %d, want 1", w)
+	}
+	if w := pickBatchWidth(0, 100, 0, noProbe); w != defaultBatchWidth {
+		t.Errorf("small sweep default: got %d, want %d", w, defaultBatchWidth)
+	}
+	if w := pickBatchWidth(0, 100, 2, noProbe); w != 2 {
+		t.Errorf("small sweep capped default: got %d, want 2", w)
+	}
+	if w := pickBatchWidth(0, 1000, 0, nil); w != defaultBatchWidth {
+		t.Errorf("nil probe default: got %d, want %d", w, defaultBatchWidth)
+	}
+
+	// Probing: per-point time minimized at width 16 (total time grows slower
+	// than the width up to 16, then jumps).
+	var probed []int
+	cost := map[int]time.Duration{4: 40, 8: 56, 16: 64, 32: 1280}
+	probe := func(w int) time.Duration {
+		probed = append(probed, w)
+		return cost[w]
+	}
+	if w := pickBatchWidth(0, 1000, 0, probe); w != 16 {
+		t.Errorf("probed sweep: got %d, want 16", w)
+	}
+	// Two reps per candidate, all four candidates fit.
+	if len(probed) != 8 {
+		t.Errorf("probe called %d times, want 8 (2 reps x 4 candidates)", len(probed))
+	}
+	// The cap stops candidate enumeration.
+	probed = nil
+	if w := pickBatchWidth(0, 1000, 8, probe); w != 8 {
+		t.Errorf("capped probe: got %d, want 8 (best per-point among {4, 8})", w)
+	}
+	for _, w := range probed {
+		if w > 8 {
+			t.Errorf("probed width %d beyond cap 8", w)
+		}
+	}
+	// So does the point count.
+	probed = nil
+	if w := pickBatchWidth(0, 300, 0, func(w int) time.Duration {
+		probed = append(probed, w)
+		return time.Duration(w) // flat per-point cost: first candidate wins
+	}); w != 4 {
+		t.Errorf("flat probe: got %d, want 4", w)
+	}
+}
+
+// TestBatchSizeFingerprintInvariant pins the "execution detail" contract:
+// the sweep fingerprint — the identity the checkpoint store and the shadow
+// auditor key on — is computed from the engine and its inputs, never from
+// the lane width.
+func TestBatchSizeFingerprintInvariant(t *testing.T) {
+	_, g, a, pts := prepareWorkload(t, "416.gamess", 7, 3000, 12)
+	for _, eng := range []struct {
+		name string
+		run  func(opts ExploreOptions) (*Report, error)
+	}{
+		{"graph", func(opts ExploreOptions) (*Report, error) { return ExploreGraphOpts(g, pts, opts) }},
+		{"rpstacks", func(opts ExploreOptions) (*Report, error) { return ExploreRpStacksOpts(a, pts, opts) }},
+	} {
+		var want []byte
+		for _, k := range []int{1, 0, 5, len(pts)} {
+			rep, err := eng.run(ExploreOptions{BatchSize: k, NeedFingerprint: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Fingerprint) == 0 {
+				t.Fatalf("%s k=%d: no fingerprint published", eng.name, k)
+			}
+			if want == nil {
+				want = rep.Fingerprint
+			} else if !bytes.Equal(rep.Fingerprint, want) {
+				t.Fatalf("%s: fingerprint changed with BatchSize %d", eng.name, k)
+			}
+		}
+	}
+}
+
+// TestBatchedCheckpointCrashResume is the satellite crash differential: a
+// batched checkpointed sweep killed mid-run and resumed at a different lane
+// width (and worker count) must stitch together the exact Results of an
+// uninterrupted forced-scalar sweep, under the same fingerprint. The resume
+// leg exercises the scattered-index gather path that only checkpointed
+// batched sweeps take.
+func TestBatchedCheckpointCrashResume(t *testing.T) {
+	_, g, a, pts := prepareWorkload(t, "429.mcf", 5, 2500, 60)
+	for _, eng := range []struct {
+		name string
+		run  func(opts ExploreOptions) (*Report, error)
+	}{
+		{"graph", func(opts ExploreOptions) (*Report, error) { return ExploreGraphOpts(g, pts, opts) }},
+		{"rpstacks", func(opts ExploreOptions) (*Report, error) { return ExploreRpStacksOpts(a, pts, opts) }},
+	} {
+		t.Run(eng.name, func(t *testing.T) {
+			scalar, err := eng.run(ExploreOptions{BatchSize: 1, NeedFingerprint: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const crashChunks = 4
+			dir := t.TempDir()
+			ck := &Checkpoint{Dir: dir}
+			// Crashed leg: serial, batched wider than the chunk, cancelled
+			// after 4 chunks of 5 — each chunk evaluates as one ragged batch.
+			_, err = eng.run(ExploreOptions{
+				Parallelism: 1,
+				ChunkSize:   5,
+				BatchSize:   8,
+				Context:     &cancelAfter{remaining: crashChunks},
+				Checkpoint:  ck,
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("crashed run returned %v, want context.Canceled", err)
+			}
+			if got := len(chunkFiles(t, dir)); got != crashChunks {
+				t.Fatalf("crash left %d chunk files, want %d", got, crashChunks)
+			}
+
+			// Resumed leg: parallel, a different width — checkpoints written
+			// at one width must restore at any other.
+			resumed, err := eng.run(ExploreOptions{Parallelism: 4, ChunkSize: 3, BatchSize: 3, Checkpoint: ck})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := crashChunks * 5; resumed.Resumed != want {
+				t.Fatalf("resume restored %d points, want %d", resumed.Resumed, want)
+			}
+			if !bytes.Equal(resumed.Fingerprint, scalar.Fingerprint) {
+				t.Fatal("batched checkpointed sweep fingerprints differently than the scalar sweep")
+			}
+			sameResults(t, eng.name+" batched resume vs scalar uninterrupted", scalar.Results, resumed.Results)
+
+			// Autotuned width over the now-complete checkpoint restores all.
+			full, err := eng.run(ExploreOptions{Checkpoint: ck})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if full.Resumed != len(pts) {
+				t.Fatalf("complete checkpoint restored %d of %d points", full.Resumed, len(pts))
+			}
+			sameResults(t, eng.name+" fully resumed", scalar.Results, full.Results)
+		})
+	}
+}
+
+// TestSimIgnoresBatchSize checks the scalar-only engine contract: the sim
+// engine reports Batch 1 whatever the option says and still returns the same
+// measurements.
+func TestSimIgnoresBatchSize(t *testing.T) {
+	cfg, _, _, pts := prepareWorkload(t, "456.hmmer", 3, 800, 3)
+	uops := smallStream(t, "456.hmmer", 3, 800)
+	plain, err := ExploreSimOpts(cfg, uops, pts, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := ExploreSimOpts(cfg, uops, pts, ExploreOptions{BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Batch != 1 || batched.Batch != 1 {
+		t.Fatalf("sim reported batch widths %d/%d, want 1/1", plain.Batch, batched.Batch)
+	}
+	sameResults(t, "sim with BatchSize set", plain.Results, batched.Results)
+}

@@ -1,0 +1,119 @@
+package dse
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/depgraph"
+	"repro/internal/stacks"
+	"repro/internal/workload"
+)
+
+// fuzzSub is the shared substrate of FuzzBatchEval: one tiny simulated
+// workload, its dependence graph and RpStacks analysis, built once — the
+// fuzzer varies the batch geometry and the design points, not the model.
+var fuzzSub struct {
+	once sync.Once
+	g    *depgraph.Graph
+	a    *core.Analysis
+	base stacks.Latencies
+	err  error
+}
+
+func fuzzSubstrate() (*depgraph.Graph, *core.Analysis, stacks.Latencies, error) {
+	fuzzSub.once.Do(func() {
+		cfg := config.Baseline()
+		prof, ok := workload.ByName("429.mcf")
+		if !ok {
+			panic("unknown workload 429.mcf")
+		}
+		uops := workload.Stream(prof, 17, 400)
+		s, err := cpu.New(cfg)
+		if err != nil {
+			fuzzSub.err = err
+			return
+		}
+		tr, err := s.Run(uops)
+		if err != nil {
+			fuzzSub.err = err
+			return
+		}
+		if fuzzSub.g, err = depgraph.Build(tr, &cfg.Structure, 0, len(tr.Records)); err != nil {
+			fuzzSub.err = err
+			return
+		}
+		if fuzzSub.a, err = core.Analyze(tr, &cfg.Structure, &cfg.Lat, core.DefaultOptions()); err != nil {
+			fuzzSub.err = err
+			return
+		}
+		fuzzSub.base = cfg.Lat
+	})
+	return fuzzSub.g, fuzzSub.a, fuzzSub.base, fuzzSub.err
+}
+
+// FuzzBatchEval fuzzes the batch-vs-scalar equivalence over arbitrary batch
+// geometry and latency bytes: the lane width, the point count (so every
+// ragged and oversized combination appears) and the raw latency scales all
+// come from the fuzzer, and both K-wide evaluators must reproduce their
+// scalar counterparts exactly — int64-identical longest paths,
+// float64-identical predictions — on every point.
+func FuzzBatchEval(f *testing.F) {
+	f.Add(uint8(1), uint8(1), []byte{})
+	f.Add(uint8(8), uint8(3), []byte{0x10, 0x80, 0xff, 0x03})
+	f.Add(uint8(3), uint8(17), []byte("\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09ragged batches"))
+
+	f.Fuzz(func(t *testing.T, kb, nb uint8, latBytes []byte) {
+		g, a, base, err := fuzzSubstrate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + int(kb)%32
+		npts := 1 + int(nb)%24
+		pts := make([]stacks.Latencies, npts)
+		bi := 0
+		nextByte := func() byte {
+			if len(latBytes) == 0 {
+				return 0
+			}
+			b := latBytes[bi%len(latBytes)]
+			bi++
+			return b
+		}
+		for i := range pts {
+			l := base
+			for e := stacks.Event(1); e < stacks.NumEvents; e++ {
+				// Scales in [0.25, 2.8): enough spread to move longest paths
+				// and segment winners around without leaving the domain.
+				l = l.Scale(e, 0.25+float64(nextByte())/100)
+			}
+			pts[i] = l
+		}
+
+		ev := g.NewEvaluator()
+		be := g.NewBatchEvaluator(k)
+		bp := a.NewBatchPredictor(k)
+		paths := make([]int64, k)
+		cycles := make([]float64, k)
+		for lo := 0; lo < npts; lo += k {
+			hi := lo + k
+			if hi > npts {
+				hi = npts
+			}
+			be.LongestPaths(pts[lo:hi], paths[:hi-lo])
+			bp.Predict(pts[lo:hi], cycles[:hi-lo])
+			for i := lo; i < hi; i++ {
+				if want := ev.LongestPath(&pts[i]); paths[i-lo] != want {
+					t.Fatalf("k=%d npts=%d point %d: batch longest path %d != scalar %d",
+						k, npts, i, paths[i-lo], want)
+				}
+				if want := a.Predict(&pts[i]); cycles[i-lo] != want {
+					t.Fatalf("k=%d npts=%d point %d: batch prediction %v != scalar %v",
+						k, npts, i, cycles[i-lo], want)
+				}
+			}
+		}
+	})
+}

@@ -57,6 +57,37 @@ func TestSweepMonotonicityGraphAndRpStacks(t *testing.T) {
 	})
 }
 
+// TestSweepMonotonicityBatched extends the monotonicity property to the
+// batched sweep path: the lo/hi pair is evaluated as one two-point batch (and
+// again split across parallel workers), so the property holds through the
+// K-wide evaluators' lane arithmetic, not just the scalar path the test above
+// exercises when widths collapse to one.
+func TestSweepMonotonicityBatched(t *testing.T) {
+	cfg, g, a, _ := prepareWorkload(t, "437.leslie3d", 23, 3000, 1)
+	base := cfg.Lat
+
+	check := func(name string, sweep func(pts []stacks.Latencies) []Result) {
+		prop := func(words [4]uint64, axis, bump uint8) bool {
+			lo := quickPoint(base, words)
+			e, delta := quickAxis(axis, bump)
+			hi := lo.With(e, lo[e]+delta)
+			res := sweep([]stacks.Latencies{lo, hi})
+			return res[1].Cycles >= res[0].Cycles
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	check("graph", func(pts []stacks.Latencies) []Result {
+		rep, _ := ExploreGraphOpts(g, pts, ExploreOptions{BatchSize: 2})
+		return rep.Results
+	})
+	check("rpstacks", func(pts []stacks.Latencies) []Result {
+		rep, _ := ExploreRpStacksOpts(a, pts, ExploreOptions{BatchSize: 2, Parallelism: 2, ChunkSize: 1})
+		return rep.Results
+	})
+}
+
 // TestSweepMonotonicitySim applies the same property to the ground-truth
 // engine: re-simulating with one latency axis raised never finishes earlier.
 // Simulation is the expensive engine, so the property runs on a short stream

@@ -60,6 +60,16 @@ type ExploreOptions struct {
 	// Checkpointed sweeps compute the fingerprint anyway and always
 	// publish it.
 	NeedFingerprint bool
+	// BatchSize is the number of design points a batch-capable engine
+	// (graph, rpstacks) evaluates per pass over its model — the lane count
+	// of depgraph.BatchEvaluator / core.BatchPredictor. 1 forces the scalar
+	// per-point path; 0, the default, picks a width by a small autotune over
+	// candidate lane widths (see pickBatchWidth). Batching is an execution
+	// detail, not an input: results, sweep fingerprints and checkpoint
+	// chunks are bit-identical across every BatchSize, so a checkpoint
+	// written at one width resumes cleanly at any other. The sim engine has
+	// no batched form and ignores this field.
+	BatchSize int
 }
 
 // workerCount returns the number of workers a sweep over n points will use.

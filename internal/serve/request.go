@@ -43,6 +43,11 @@ type Limits struct {
 	// is used when the request leaves it zero.
 	MaxParallelism     int
 	DefaultParallelism int
+	// MaxBatchSize bounds an explicit batch_size: the lane count of the
+	// batched evaluator scratch every sweep worker allocates. Zero in a
+	// request autotunes within the engines' own memory caps, so only explicit
+	// widths need a ceiling.
+	MaxBatchSize int
 	// DefaultTop and DefaultMicroOps fill omitted request fields.
 	DefaultTop      int
 	DefaultMicroOps int
@@ -66,6 +71,7 @@ func DefaultLimits() Limits {
 		DefaultTimeout:     2 * time.Minute,
 		MaxParallelism:     256,
 		DefaultParallelism: 0, // Server.New fills this from its Config
+		MaxBatchSize:       1024,
 		DefaultTop:         10,
 		DefaultMicroOps:    20_000,
 		MaxAuditPoints:     64,
@@ -86,6 +92,7 @@ type JobRequest struct {
 	MicroOps    int      `json:"micro_ops,omitempty"`   // workload jobs: measured µops
 	Seed        int64    `json:"seed,omitempty"`        // workload jobs: generator seed
 	Parallelism int      `json:"parallelism,omitempty"` // sweep workers
+	BatchSize   int      `json:"batch_size,omitempty"`  // design points per model pass (0: autotuned, 1: scalar; rpstacks/graph only)
 	TimeoutMS   int64    `json:"timeout_ms,omitempty"`  // per-job deadline
 
 	// AuditFraction enables the shadow accuracy audit: the share of the
@@ -113,6 +120,7 @@ type JobSpec struct {
 	MicroOps    int
 	Seed        int64
 	Parallelism int
+	BatchSize   int
 	Timeout     time.Duration
 
 	AuditFraction float64
@@ -226,6 +234,16 @@ func (req *JobRequest) validate(lim Limits) (*JobSpec, error) {
 		return nil, fmt.Errorf("serve: parallelism %d exceeds the limit of %d", req.Parallelism, lim.MaxParallelism)
 	default:
 		spec.Parallelism = req.Parallelism // 0 resolves to the server default at run time
+	}
+	switch {
+	case req.BatchSize < 0:
+		return nil, fmt.Errorf("serve: negative batch_size %d", req.BatchSize)
+	case req.BatchSize > lim.MaxBatchSize:
+		return nil, fmt.Errorf("serve: batch_size %d exceeds the limit of %d", req.BatchSize, lim.MaxBatchSize)
+	case req.BatchSize > 0 && spec.Engine == "sim":
+		return nil, fmt.Errorf("serve: the sim engine has no batched form; batch_size applies to rpstacks and graph jobs")
+	default:
+		spec.BatchSize = req.BatchSize // 0 autotunes in the sweep engine
 	}
 	if math.IsNaN(req.TargetCPI) || math.IsInf(req.TargetCPI, 0) || req.TargetCPI < 0 {
 		return nil, fmt.Errorf("serve: target_cpi %g is not a finite non-negative value", req.TargetCPI)

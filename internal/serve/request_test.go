@@ -70,6 +70,9 @@ func TestParseJobRequestRejections(t *testing.T) {
 		{name: "timeout over cap", body: `{"workload":"429.mcf","axes":["L2D=8"],"timeout_ms":86400000}`, want: "exceeds the limit"},
 		{name: "negative parallelism", body: `{"workload":"429.mcf","axes":["L2D=8"],"parallelism":-2}`, want: "negative parallelism"},
 		{name: "parallelism over cap", body: `{"workload":"429.mcf","axes":["L2D=8"],"parallelism":9999}`, want: "parallelism 9999 exceeds"},
+		{name: "negative batch_size", body: `{"workload":"429.mcf","axes":["L2D=8"],"batch_size":-4}`, want: "negative batch_size"},
+		{name: "batch_size over cap", body: `{"workload":"429.mcf","axes":["L2D=8"],"batch_size":4096}`, want: "batch_size 4096 exceeds"},
+		{name: "batch_size on sim", body: `{"workload":"429.mcf","axes":["L2D=8"],"engine":"sim","batch_size":8}`, want: "no batched form"},
 		{name: "negative target cpi", body: `{"workload":"429.mcf","axes":["L2D=8"],"target_cpi":-0.5}`, want: "target_cpi"},
 		{name: "negative micro_ops", body: `{"workload":"429.mcf","axes":["L2D=8"],"micro_ops":-1}`, want: "negative micro_ops"},
 		{name: "micro_ops over cap", body: `{"workload":"429.mcf","axes":["L2D=8"],"micro_ops":1000000}`, want: "micro_ops 1000000 exceeds"},
@@ -121,6 +124,16 @@ func TestParseJobRequestDefaults(t *testing.T) {
 	}
 	if spec.Parallelism != 0 {
 		t.Errorf("parallelism %d, want 0 (server default)", spec.Parallelism)
+	}
+	if spec.BatchSize != 0 {
+		t.Errorf("batch_size %d, want 0 (autotuned in the sweep engine)", spec.BatchSize)
+	}
+	batched, err := ParseJobRequest([]byte(`{"workload":"429.mcf","axes":["L2D=8,12"],"engine":"graph","batch_size":32}`), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.BatchSize != 32 {
+		t.Errorf("batch_size %d, want 32", batched.BatchSize)
 	}
 }
 

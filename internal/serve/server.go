@@ -368,6 +368,7 @@ func (s *Server) execute(ctx context.Context, job *Job) (*JobResult, error) {
 	points := spec.Space.Enumerate(s.cfg.BaseConfig.Lat)
 	opts := dse.ExploreOptions{
 		Parallelism: par,
+		BatchSize:   spec.BatchSize,
 		Context:     ctx,
 		Setup:       setupWall,
 		Tracer:      job.tracer,
