@@ -10,9 +10,13 @@ package repro
 // One figure:      go test -bench=BenchmarkFig11b -benchmem
 
 import (
+	"context"
+	"fmt"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -20,7 +24,9 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/dse"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/stacks"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -492,3 +498,89 @@ func BenchmarkExploreRpStacksBatched(b *testing.B) { benchExploreRpStacksSweep(b
 func BenchmarkExploreRpStacksBatchedParallel(b *testing.B) {
 	benchExploreRpStacksSweep(b, runtime.GOMAXPROCS(0), 0)
 }
+
+// --- Fleet: coordinator/worker chunk leasing --------------------------
+
+// benchFleetGraph runs the fig13-style graph sweep through an in-process
+// fleet: one coordinator behind httptest, nworkers workers (one evaluator
+// goroutine each, so scaling comes from the fleet, not intra-worker
+// parallelism) publishing chunk blobs into a shared store root. The first
+// sweep is run untimed to pay each worker's one-time workload rebuild, the
+// same cost rpworker amortizes across a process lifetime.
+//
+// On a multi-core host the two-worker wall-clock approaches half the
+// one-worker number (chunk evaluations run truly in parallel); on a
+// single-core host the remaining gain comes from overlapping one worker's
+// blob publication and lease round-trips with the other's evaluation.
+func benchFleetGraph(b *testing.B, nworkers int) {
+	r := benchRunner()
+	a, err := r.App("416.gamess")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := dse.Space{Axes: []dse.Axis{
+		{Event: stacks.L1D, Values: []float64{1, 2, 3, 4}},
+		{Event: stacks.L2D, Values: []float64{6, 12, 18}},
+		{Event: stacks.FpAdd, Values: []float64{2, 4, 6}},
+		{Event: stacks.MemD, Values: []float64{66, 133}},
+	}}
+	points := sp.Enumerate(r.Cfg.Lat)
+	fp, err := dse.SweepFingerprintGraph(a.Graph, points)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shared, err := store.OpenShared(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	coord := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Shared:   shared,
+		LeaseTTL: time.Minute,
+		WaitHint: time.Millisecond,
+	})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < nworkers; i++ {
+		w := fleet.NewWorker(fleet.WorkerConfig{
+			CoordinatorURL: ts.URL,
+			Shared:         shared,
+			Concurrency:    1,
+			ID:             fmt.Sprintf("bench-w%d", i),
+			PollInterval:   time.Millisecond,
+		})
+		go func() { _ = w.Run(ctx) }()
+	}
+	sw := fleet.Sweep{
+		Spec: fleet.SweepSpec{
+			Workload: "416.gamess",
+			Seed:     42,
+			MicroOps: benchMicroOps,
+			Engine:   "graph",
+			Axes:     fleet.FormatAxes(sp.Axes),
+		},
+		Points:      points,
+		Fingerprint: fp,
+		ChunkSize:   9, // 72 points -> 8 chunks
+	}
+	if _, err := coord.Run(ctx, sw); err != nil { // untimed worker warmup
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coord.Run(ctx, sw); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(points)), "points")
+	b.ReportMetric(float64(nworkers), "fleet_workers")
+}
+
+// BenchmarkFleetGraphWorkers1 is the single-worker fleet baseline: all lease
+// and blob-publication overhead, no parallelism.
+func BenchmarkFleetGraphWorkers1(b *testing.B) { benchFleetGraph(b, 1) }
+
+// BenchmarkFleetGraphWorkers2 doubles the fleet; its wall-clock speedup over
+// BenchmarkFleetGraphWorkers1 is the fleet's scaling on one host.
+func BenchmarkFleetGraphWorkers2(b *testing.B) { benchFleetGraph(b, 2) }

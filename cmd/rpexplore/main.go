@@ -15,7 +15,9 @@
 // atomically under the given directory: a killed sweep re-run with the same
 // flags resumes where it stopped and returns results identical to an
 // uninterrupted run. A directory written by a different sweep (other
-// method, workload or axes) is rejected.
+// method, workload or axes) is rejected. Once the sweep completes and its
+// report is printed, the chunk files are removed (failed or interrupted
+// runs keep them, so resume always has its state).
 //
 // With -batch, the graph and rpstacks engines evaluate that many design
 // points per pass over their model (0, the default, autotunes the width; 1
@@ -184,7 +186,10 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 	opts := dse.ExploreOptions{Parallelism: par, ChunkSize: chunk, BatchSize: batch,
 		Setup: a.SimTime + a.AnalyzeTime, NeedFingerprint: au.fraction > 0}
 	if checkpoint != "" {
-		opts.Checkpoint = &dse.Checkpoint{Dir: checkpoint}
+		// A finished exploration deletes its chunk files: they exist to
+		// survive crashes, and a report on stdout supersedes them. Failed or
+		// interrupted runs keep them for the next -checkpoint resume.
+		opts.Checkpoint = &dse.Checkpoint{Dir: checkpoint, RemoveOnSuccess: true}
 	}
 	var prog *obs.Progress
 	if traceOut != "" || progress {

@@ -37,6 +37,13 @@
 //
 // With -pprof-addr set, net/http/pprof runtime profiling (CPU, heap,
 // goroutine, execution trace) is served on a separate listener.
+//
+// With -fleet-coordinator set (requires -store-dir), the server additionally
+// mounts the /fleet/v1/ chunk-lease protocol and delegates eligible sweeps —
+// named-workload jobs under the baseline machine setup — to rpworker
+// processes sharing <store-dir>/fleet. Uploaded-trace jobs always sweep
+// locally. -fleet-lease-ttl and -fleet-chunk tune lease expiry and lease
+// granularity; the rpstacks_fleet_* metric families land on /metrics.
 package main
 
 import (
@@ -56,6 +63,11 @@ import (
 	"repro/internal/store"
 )
 
+// fleetShareDir is where the fleet's shared blob root lives relative to the
+// artifact store directory. rpworker applies the same convention to its
+// -store-dir flag, so pointing both binaries at one directory just works.
+func fleetShareDir(storeDir string) string { return storeDir + "/fleet" }
+
 func main() {
 	addr := flag.String("addr", ":8321", "listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent job executors")
@@ -69,15 +81,18 @@ func main() {
 	storeDir := flag.String("store-dir", "", "directory for the durable artifact store (empty: memory-only)")
 	storeMax := flag.Int64("store-max-bytes", 0, "LRU bound on durable store payload bytes (0: unbounded)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof runtime profiling (empty: off)")
+	fleetCoord := flag.Bool("fleet-coordinator", false, "coordinate a sweep fleet: mount /fleet/v1/ and lease sweep chunks to rpworker processes (requires -store-dir)")
+	fleetTTL := flag.Duration("fleet-lease-ttl", 10*time.Second, "fleet lease heartbeat TTL before a chunk is re-leased")
+	fleetChunk := flag.Int("fleet-chunk", 0, "design points per fleet lease (0: ~32 chunks per sweep)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *par, *cacheEntries, *maxGrid, *timeout, *maxTimeout, *drain, *storeDir, *storeMax, *pprofAddr); err != nil {
+	if err := run(*addr, *workers, *queue, *par, *cacheEntries, *maxGrid, *timeout, *maxTimeout, *drain, *storeDir, *storeMax, *pprofAddr, *fleetCoord, *fleetTTL, *fleetChunk); err != nil {
 		fmt.Fprintf(os.Stderr, "rpserved: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, maxTimeout, drain time.Duration, storeDir string, storeMax int64, pprofAddr string) error {
+func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, maxTimeout, drain time.Duration, storeDir string, storeMax int64, pprofAddr string, fleetCoord bool, fleetTTL time.Duration, fleetChunk int) error {
 	if workers < 1 {
 		return fmt.Errorf("-workers must be at least 1, got %d", workers)
 	}
@@ -114,6 +129,24 @@ func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, m
 			slog.Int64("bytes", st.Bytes))
 	}
 
+	var shared *store.Shared
+	if fleetCoord {
+		if storeDir == "" {
+			return fmt.Errorf("-fleet-coordinator requires -store-dir: workers publish chunk results there")
+		}
+		var err error
+		// The fleet blob root lives beside (not inside) the artifact store's
+		// objects, under its own subdirectory, so the store's orphan sweep
+		// never touches fleet blobs.
+		shared, err = store.OpenShared(fleetShareDir(storeDir))
+		if err != nil {
+			return fmt.Errorf("opening fleet share: %w", err)
+		}
+		logger.Info("fleet coordinator enabled",
+			slog.String("share", fleetShareDir(storeDir)),
+			slog.Duration("lease_ttl", fleetTTL))
+	}
+
 	svc := serve.New(serve.Config{
 		QueueDepth:       queue,
 		Workers:          workers,
@@ -122,6 +155,9 @@ func run(addr string, workers, queue, par, cacheEntries, maxGrid int, timeout, m
 		Limits:           lim,
 		Store:            durable,
 		Logger:           logger,
+		FleetStore:       shared,
+		FleetLeaseTTL:    fleetTTL,
+		FleetChunkSize:   fleetChunk,
 	})
 	httpSrv := &http.Server{Addr: addr, Handler: svc}
 

@@ -33,6 +33,13 @@ type Checkpoint struct {
 	// serves one logical sweep; reusing it for a different engine, point
 	// list or engine input is detected via fingerprint and rejected.
 	Dir string
+	// RemoveOnSuccess deletes the chunk files once the sweep has completed
+	// and its Report is final, so a finished run does not leave its whole
+	// result set behind on disk. A failed or cancelled sweep always keeps
+	// its chunks — they are exactly what the next run resumes from. Off by
+	// default: callers that re-read a completed checkpoint (tests, tooling)
+	// keep the historical keep-everything behavior.
+	RemoveOnSuccess bool
 }
 
 const (
@@ -68,7 +75,8 @@ func sweepFingerprint(method string, salt func(io.Writer) error, points []stacks
 
 // encodeChunk renders one completed chunk: magic, version, fingerprint,
 // count, (index, cycles) pairs, trailing SHA-256 of everything before it.
-func encodeChunk(fp [sha256.Size]byte, idxs []int, results []Result) []byte {
+// idxs and cycles are aligned: cycles[k] is the result of point idxs[k].
+func encodeChunk(fp [sha256.Size]byte, idxs []int, cycles []float64) []byte {
 	var scratch [binary.MaxVarintLen64]byte
 	buf := make([]byte, 0, len(chunkMagic)+2+sha256.Size+len(idxs)*12+sha256.Size)
 	buf = append(buf, chunkMagic...)
@@ -76,9 +84,9 @@ func encodeChunk(fp [sha256.Size]byte, idxs []int, results []Result) []byte {
 	buf = append(buf, fp[:]...)
 	buf = append(buf, scratch[:binary.PutUvarint(scratch[:], uint64(len(idxs)))]...)
 	var b [8]byte
-	for _, i := range idxs {
+	for k, i := range idxs {
 		buf = append(buf, scratch[:binary.PutUvarint(scratch[:], uint64(i))]...)
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(results[i].Cycles))
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(cycles[k]))
 		buf = append(buf, b[:]...)
 	}
 	sum := sha256.Sum256(buf)
@@ -211,7 +219,11 @@ func loadChunks(dir string, fp [sha256.Size]byte, results []Result, done []bool,
 // lands in at most one published chunk, and chunks that failed to decode
 // were deleted before their points became pending again.
 func saveChunk(dir string, fp [sha256.Size]byte, idxs []int, results []Result) error {
-	raw := encodeChunk(fp, idxs, results)
+	cycles := make([]float64, len(idxs))
+	for k, i := range idxs {
+		cycles[k] = results[i].Cycles
+	}
+	raw := encodeChunk(fp, idxs, cycles)
 	tmp, err := os.CreateTemp(dir, "tmp-*")
 	if err != nil {
 		return fmt.Errorf("dse: creating checkpoint temp: %w", err)
@@ -233,4 +245,22 @@ func saveChunk(dir string, fp [sha256.Size]byte, idxs []int, results []Result) e
 		return fmt.Errorf("dse: publishing checkpoint chunk: %w", err)
 	}
 	return nil
+}
+
+// removeChunks best-effort deletes every chunk file in dir, then the
+// directory itself if that left it empty. Called only after a sweep has
+// completed and its Report is final (Checkpoint.RemoveOnSuccess), so losing
+// the files can no longer lose results; errors are ignored because a
+// leftover file merely re-creates the pre-cleanup behavior.
+func removeChunks(dir string) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, de := range des {
+		if strings.HasPrefix(de.Name(), chunkPrefix) {
+			_ = os.Remove(filepath.Join(dir, de.Name()))
+		}
+	}
+	_ = os.Remove(dir) // fails (and is kept) when anything else lives there
 }

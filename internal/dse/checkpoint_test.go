@@ -209,3 +209,64 @@ func smallStream(t *testing.T, name string, seed int64, n int) []isa.MicroOp {
 	}
 	return workload.Stream(prof, seed, n)
 }
+
+// TestCheckpointRemoveOnSuccess: with RemoveOnSuccess set, a sweep that
+// finishes deletes its chunk files (and the directory, when it created it
+// exclusively), while a crashed sweep keeps them — and a resume over the
+// kept files still completes, cleans up, and matches the uninterrupted run.
+func TestCheckpointRemoveOnSuccess(t *testing.T) {
+	_, g, _, pts := prepareWorkload(t, "429.mcf", 7, 2500, 60)
+	uninterrupted := ExploreGraph(g, pts)
+
+	dir := filepath.Join(t.TempDir(), "ck")
+	ck := &Checkpoint{Dir: dir, RemoveOnSuccess: true}
+
+	// Crashed run: the chunk files must survive — they are the resume state.
+	_, err := ExploreGraphOpts(g, pts, ExploreOptions{
+		Parallelism: 1,
+		ChunkSize:   5,
+		Context:     &cancelAfter{remaining: 3},
+		Checkpoint:  ck,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("crashed run returned %v, want context.Canceled", err)
+	}
+	if got := len(chunkFiles(t, dir)); got != 3 {
+		t.Fatalf("crash kept %d chunk files, want 3: RemoveOnSuccess must not fire on error", got)
+	}
+
+	// Successful resume: results match, then the checkpoint evaporates.
+	resumed, err := ExploreGraphOpts(g, pts, ExploreOptions{ChunkSize: 5, Checkpoint: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed != 15 {
+		t.Fatalf("resume restored %d points, want 15", resumed.Resumed)
+	}
+	sameResults(t, "resumed vs uninterrupted", uninterrupted.Results, resumed.Results)
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint directory survived a successful sweep: %v", err)
+	}
+
+	// A directory holding foreign files loses only the chunk files.
+	dir2 := filepath.Join(t.TempDir(), "ck2")
+	if err := os.MkdirAll(dir2, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir2, "NOTES.txt")
+	if err := os.WriteFile(keep, []byte("not a chunk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExploreGraphOpts(g, pts, ExploreOptions{
+		ChunkSize:  5,
+		Checkpoint: &Checkpoint{Dir: dir2, RemoveOnSuccess: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(chunkFiles(t, dir2)); got != 0 {
+		t.Fatalf("%d chunk files survive in a shared directory", got)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("foreign file was deleted: %v", err)
+	}
+}

@@ -6,7 +6,6 @@
 package dse
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -330,6 +329,11 @@ func runPoints(rep *Report, points []stacks.Latencies, opts ExploreOptions, salt
 		return err
 	}
 	rep.finish(wall, workers)
+	if opts.Checkpoint.RemoveOnSuccess {
+		// The Report is complete; the chunk files have nothing left to
+		// protect. Errors above keep them for the next resume.
+		removeChunks(dir)
+	}
 	return nil
 }
 
@@ -346,19 +350,7 @@ func ExploreSim(cfg *config.Config, uops []isa.MicroOp, points []stacks.Latencie
 // its Results are identical to the serial sweep's.
 func ExploreSimOpts(cfg *config.Config, uops []isa.MicroOp, points []stacks.Latencies, opts ExploreOptions) (*Report, error) {
 	rep := &Report{Method: "simulator", Results: make([]Result, len(points)), Setup: opts.Setup}
-	salt := func(w io.Writer) error {
-		// The simulator's output is determined by the structural config and
-		// the µop stream (per-point latencies come from the point list).
-		cj, err := json.Marshal(cfg)
-		if err != nil {
-			return err
-		}
-		if _, err := w.Write(cj); err != nil {
-			return err
-		}
-		_, err = fmt.Fprintf(w, "%v", uops)
-		return err
-	}
+	salt := simSalt(cfg, uops)
 	rep.Batch = 1 // re-simulation has no batched form
 	err := runPoints(rep, points, opts, salt, engineEval{point: func(_, i int) (float64, error) {
 		c := cfg.Clone()

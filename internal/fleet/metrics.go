@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"repro/internal/obs/prom"
+)
+
+// metrics.go — the coordinator's rpstacks_fleet_* families, registered on
+// the caller's registry (rpserved's, so one /metrics scrape covers the
+// fleet) or a private one. Counters the lease path owns are updated in
+// place; worker liveness and active-sweep counts are pulled at scrape time
+// from the coordinator's own state, the registry's no-double-accounting
+// convention.
+
+// assemblyBuckets resolve report assembly, which is dominated by reading
+// the chunk blobs back: sub-millisecond for small sweeps, seconds when a
+// million-point report streams from disk.
+var assemblyBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 1, 10}
+
+// completionResults are the completed-chunks counter labels, in render
+// order: "first" is the accepted completion, "duplicate" the idempotent
+// re-completion of an already-done chunk (work-stealing's second finisher).
+var completionResults = []string{"first", "duplicate"}
+
+type coordMetrics struct {
+	leased    *prom.Counter
+	completed *prom.CounterVec
+	expired   *prom.Counter
+	stolen    *prom.Counter
+	assembly  *prom.Histogram
+}
+
+func newCoordMetrics(reg *prom.Registry, c *Coordinator) *coordMetrics {
+	m := &coordMetrics{
+		leased: reg.Counter("rpstacks_fleet_chunks_leased_total",
+			"Chunk leases granted to workers, steals included."),
+		completed: reg.CounterVec("rpstacks_fleet_chunks_completed_total",
+			"Chunk completions by result.", "result"),
+		expired: reg.Counter("rpstacks_fleet_leases_expired_total",
+			"Leases that missed their heartbeat TTL and were revoked."),
+		stolen: reg.Counter("rpstacks_fleet_chunks_stolen_total",
+			"Straggler chunks re-leased to a second worker while still held."),
+		assembly: reg.Histogram("rpstacks_fleet_assembly_duration_seconds",
+			"Wall-clock of assembling a finished sweep's Report from its chunk blobs.",
+			assemblyBuckets),
+	}
+	for _, r := range completionResults {
+		m.completed.With(r)
+	}
+	reg.Collect("rpstacks_fleet_workers_live",
+		"Workers seen by the coordinator within two lease TTLs.", "gauge",
+		func(emit func(string, float64)) { emit("", float64(c.liveWorkers())) })
+	reg.Collect("rpstacks_fleet_sweeps_active",
+		"Sweeps currently registered on the coordinator.", "gauge",
+		func(emit func(string, float64)) { emit("", float64(c.activeSweeps())) })
+	return m
+}

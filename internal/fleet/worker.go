@@ -1,0 +1,485 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/stacks"
+	"repro/internal/store"
+)
+
+// WorkerConfig parameterizes NewWorker.
+type WorkerConfig struct {
+	// CoordinatorURL is the base URL the /fleet/v1/ protocol lives under,
+	// e.g. "http://127.0.0.1:9090". Required.
+	CoordinatorURL string
+	// Shared is the blob root chunk results are published into — the same
+	// directory the coordinator opened. Required.
+	Shared *store.Shared
+	// Concurrency is dse.ExploreOptions.Parallelism for each chunk
+	// evaluation (default GOMAXPROCS). Results are identical at any value.
+	Concurrency int
+	// ID names this worker to the coordinator (default "<hostname>-<pid>").
+	ID string
+	// Client issues the protocol requests (default: a dedicated client with
+	// a 30s timeout).
+	Client *http.Client
+	// PollInterval is the idle re-poll delay when the coordinator has no
+	// grantable chunk or is unreachable (default 200ms).
+	PollInterval time.Duration
+	// Logger receives lease-lifecycle logs. Nil discards.
+	Logger *slog.Logger
+	// Tracer, when non-nil, records lease/evaluate/publish spans.
+	Tracer *obs.Tracer
+
+	// onEvaluated, when non-nil, runs after a chunk is evaluated and before
+	// its blob is published; a non-nil error aborts Run right there. Test
+	// hook: deterministic worker-crash injection at the worst moment — work
+	// done, nothing published, lease still held.
+	onEvaluated func(sweepID string, chunk int) error
+}
+
+// Worker pulls chunk leases from a Coordinator, evaluates them through the
+// deterministic sweep engines, and publishes result blobs into the shared
+// store root. Construct with NewWorker; Run once.
+type Worker struct {
+	url    string
+	shared *store.Shared
+	conc   int
+	id     string
+	client *http.Client
+	poll   time.Duration
+	logger *slog.Logger
+	tracer *obs.Tracer
+
+	onEvaluated func(string, int) error
+
+	draining atomic.Bool
+	// sweeps caches rebuilt engines per sweep id; touched only by the Run
+	// goroutine.
+	sweeps map[string]*workerSweep
+}
+
+// workerSweep is one sweep's rebuilt, fingerprint-verified engine state.
+type workerSweep struct {
+	info   sweepInfo
+	points []stacks.Latencies
+	fp     []byte
+	run    func(pts []stacks.Latencies, opts dse.ExploreOptions) (*dse.Report, error)
+	// batch is the lane width chunks evaluate at. It starts as the spec's;
+	// when that is 0 (autotune) the first chunk's resolved width is cached
+	// here so later chunks skip the autotune probe.
+	batch int
+}
+
+// NewWorker builds a Worker. Missing CoordinatorURL or Shared is a wiring
+// bug and panics.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.CoordinatorURL == "" {
+		panic("fleet: WorkerConfig.CoordinatorURL is required")
+	}
+	if cfg.Shared == nil {
+		panic("fleet: WorkerConfig.Shared is required")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		cfg.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 200 * time.Millisecond
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Worker{
+		url:         cfg.CoordinatorURL,
+		shared:      cfg.Shared,
+		conc:        cfg.Concurrency,
+		id:          cfg.ID,
+		client:      cfg.Client,
+		poll:        cfg.PollInterval,
+		logger:      cfg.Logger,
+		tracer:      cfg.Tracer,
+		onEvaluated: cfg.onEvaluated,
+		sweeps:      make(map[string]*workerSweep),
+	}
+}
+
+// ID reports the worker's identity as the coordinator sees it.
+func (w *Worker) ID() string { return w.id }
+
+// Drain stops the worker taking new leases; Run finishes the chunk in hand
+// (if any) and returns nil. /readyz answers 503 from the moment Drain is
+// called, matching rpserved's drain semantics.
+func (w *Worker) Drain() { w.draining.Store(true) }
+
+// Run is the lease-pull loop: lease, rebuild+verify the sweep's engine
+// (cached per sweep), evaluate, publish, complete, repeat. It returns nil
+// after Drain, ctx.Err() on cancellation, and a non-nil error only for hard
+// faults — a sweep whose rebuilt fingerprint disagrees with the
+// coordinator's, or an engine failure — where continuing could publish
+// wrong results. Coordinator unavailability is soft: the worker backs off
+// and retries forever.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if w.draining.Load() {
+			return nil
+		}
+		var grant leaseResponse
+		status, err := w.postJSON(ctx, "/fleet/v1/lease", leaseRequest{Worker: w.id}, &grant)
+		if err != nil || status != http.StatusOK {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logger.Warn("fleet: lease request failed", slog.Any("err", err), slog.Int("status", status))
+			if !sleepCtx(ctx, w.poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if grant.Status != "lease" {
+			d := time.Duration(grant.WaitMillis) * time.Millisecond
+			if d <= 0 {
+				d = w.poll
+			}
+			if !sleepCtx(ctx, d) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if err := w.handleLease(ctx, grant); err != nil {
+			return err
+		}
+	}
+}
+
+// handleLease evaluates and publishes one granted chunk. Soft faults (sweep
+// vanished, publish raced, coordinator restarting) log and return nil; hard
+// faults return the error and kill Run.
+func (w *Worker) handleLease(ctx context.Context, grant leaseResponse) error {
+	sp := w.tracer.StartChild(0, obs.CatFleet, obs.NameLease)
+	sp.SetDetail(shortID(grant.SweepID))
+	sp.SetArg("chunk", int64(grant.Chunk))
+	sp.End()
+
+	// Renew the lease at TTL/3 for as long as the chunk is in flight — and
+	// start renewing *before* fetching the sweep, because the first lease of
+	// a sweep pays the one-time workload rebuild, which can easily outlast a
+	// short TTL. A 410 means the lease already expired — the chunk may be
+	// re-leased, but this worker finishes anyway: its blob is byte-identical
+	// to any rival's, and completion is first-writer-wins.
+	hbStop := make(chan struct{})
+	var hbDone sync.WaitGroup
+	if ttl := time.Duration(grant.TTLMillis) * time.Millisecond; ttl > 0 {
+		hbDone.Add(1)
+		go func() {
+			defer hbDone.Done()
+			t := time.NewTicker(ttl / 3)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					var resp heartbeatResponse
+					status, err := w.postJSON(ctx, "/fleet/v1/heartbeat", heartbeatRequest{Worker: w.id, Lease: grant.Lease}, &resp)
+					if err == nil && status == http.StatusGone {
+						w.logger.Warn("fleet: lease expired under us; finishing anyway",
+							slog.Uint64("lease", grant.Lease), slog.Int("chunk", grant.Chunk))
+						return
+					}
+				}
+			}
+		}()
+	}
+	defer func() {
+		close(hbStop)
+		hbDone.Wait()
+	}()
+
+	ws, err := w.getSweep(ctx, grant.SweepID)
+	if err != nil {
+		if _, gone := err.(errSweepGone); gone {
+			// The sweep finished or was cancelled between grant and fetch.
+			w.logger.Info("fleet: leased sweep vanished", slog.String("sweep", shortID(grant.SweepID)))
+			sleepCtx(ctx, w.poll)
+			return nil
+		}
+		return err
+	}
+	if grant.Lo < 0 || grant.Hi > len(ws.points) || grant.Lo >= grant.Hi {
+		return fmt.Errorf("fleet: lease range [%d,%d) outside sweep of %d points", grant.Lo, grant.Hi, len(ws.points))
+	}
+
+	pts := ws.points[grant.Lo:grant.Hi]
+	esp := w.tracer.StartChild(0, obs.CatFleet, obs.NameEvaluate)
+	esp.SetDetail(fmt.Sprintf("%s chunk %d", shortID(grant.SweepID), grant.Chunk))
+	esp.SetArg(obs.ArgPoints, int64(len(pts)))
+	rep, err := ws.run(pts, dse.ExploreOptions{
+		Parallelism: w.conc,
+		BatchSize:   ws.batch,
+		Context:     ctx,
+	})
+	esp.End()
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("fleet: evaluating chunk %d of sweep %s: %w", grant.Chunk, shortID(grant.SweepID), err)
+	}
+	if ws.batch == 0 && rep.Batch > 0 {
+		ws.batch = rep.Batch
+	}
+	if w.onEvaluated != nil {
+		if err := w.onEvaluated(grant.SweepID, grant.Chunk); err != nil {
+			return err
+		}
+	}
+
+	idxs := make([]int, len(pts))
+	cycles := make([]float64, len(pts))
+	for k := range pts {
+		idxs[k] = grant.Lo + k
+		cycles[k] = rep.Results[k].Cycles
+	}
+	blob, err := dse.EncodeChunk(ws.fp, idxs, cycles)
+	if err != nil {
+		return fmt.Errorf("fleet: encoding chunk %d: %w", grant.Chunk, err)
+	}
+	psp := w.tracer.StartChild(0, obs.CatFleet, obs.NamePublish)
+	psp.SetDetail(fmt.Sprintf("%s chunk %d", shortID(grant.SweepID), grant.Chunk))
+	dup, perr := w.shared.Put(chunkKey(grant.SweepID, grant.Chunk), blob)
+	psp.End()
+	if perr != nil {
+		// The blob never landed; say nothing, let the lease expire and the
+		// chunk re-lease. A persistently broken shared root keeps failing
+		// loudly in the log without corrupting anything.
+		w.logger.Warn("fleet: publishing chunk failed", slog.Int("chunk", grant.Chunk), slog.Any("err", perr))
+		sleepCtx(ctx, w.poll)
+		return nil
+	}
+
+	var cresp completeResponse
+	status, err := w.postJSON(ctx, "/fleet/v1/complete", completeRequest{
+		Worker:  w.id,
+		Lease:   grant.Lease,
+		SweepID: grant.SweepID,
+		Chunk:   grant.Chunk,
+	}, &cresp)
+	switch {
+	case err != nil:
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// The blob is published; a restarted coordinator restores it even if
+		// this completion call was lost.
+		w.logger.Warn("fleet: completion call failed", slog.Int("chunk", grant.Chunk), slog.Any("err", err))
+	case status != http.StatusOK:
+		w.logger.Warn("fleet: completion rejected",
+			slog.Int("chunk", grant.Chunk), slog.Int("status", status))
+	default:
+		w.logger.Info("fleet: chunk completed",
+			slog.String("sweep", shortID(grant.SweepID)),
+			slog.Int("chunk", grant.Chunk),
+			slog.Int("points", len(pts)),
+			slog.Bool("stolen", grant.Stolen),
+			slog.Bool("dup_blob", dup),
+			slog.String("result", cresp.Status))
+	}
+	return nil
+}
+
+// errSweepGone marks a sweep the coordinator no longer knows — a soft fault.
+type errSweepGone struct{ id string }
+
+func (e errSweepGone) Error() string { return fmt.Sprintf("fleet: sweep %s gone", shortID(e.id)) }
+
+// getSweep returns the cached engine state of the sweep, rebuilding and
+// fingerprint-verifying it on first sight.
+func (w *Worker) getSweep(ctx context.Context, id string) (*workerSweep, error) {
+	if ws, ok := w.sweeps[id]; ok {
+		return ws, nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/fleet/v1/sweep?id="+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, errSweepGone{id}
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxProtocolBody))
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errSweepGone{id}
+	}
+	if rerr != nil {
+		return nil, errSweepGone{id}
+	}
+	var info sweepInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return nil, fmt.Errorf("fleet: decoding sweep info: %w", err)
+	}
+	ws, err := w.buildSweep(info)
+	if err != nil {
+		return nil, err
+	}
+	w.sweeps[id] = ws
+	w.logger.Info("fleet: sweep engine ready",
+		slog.String("sweep", shortID(id)),
+		slog.String("engine", info.Spec.Engine),
+		slog.String("workload", info.Spec.Workload),
+		slog.Int("points", len(ws.points)))
+	return ws, nil
+}
+
+// buildSweep deterministically rebuilds the sweep's engine inputs from its
+// spec and proves identity: the recomputed fingerprint must equal the
+// coordinator's sweep id, or the worker refuses the sweep outright — the
+// fingerprint covers the analysis/graph/config bytes and every point value,
+// so equality means the worker will produce bit-identical results.
+func (w *Worker) buildSweep(info sweepInfo) (*workerSweep, error) {
+	spec := info.Spec
+	if _, err := methodName(spec.Engine); err != nil {
+		return nil, err
+	}
+	space, err := parseAxes(spec.Axes)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: sweep %s axes: %w", shortID(info.ID), err)
+	}
+	r := experiments.NewRunner(spec.MicroOps)
+	r.Seed = spec.Seed
+	app, err := r.App(spec.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: rebuilding sweep %s: %w", shortID(info.ID), err)
+	}
+	points := space.Enumerate(r.Cfg.Lat)
+	if len(points) != info.Points {
+		return nil, fmt.Errorf("fleet: sweep %s: rebuilt %d points, coordinator has %d",
+			shortID(info.ID), len(points), info.Points)
+	}
+	var fp []byte
+	switch spec.Engine {
+	case "graph":
+		fp, err = dse.SweepFingerprintGraph(app.Graph, points)
+	case "rpstacks":
+		fp, err = dse.SweepFingerprintRpStacks(app.Analysis, points)
+	case "sim":
+		fp, err = dse.SweepFingerprintSim(r.Cfg, app.UOps, points)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: fingerprinting sweep %s: %w", shortID(info.ID), err)
+	}
+	if hex.EncodeToString(fp) != info.ID {
+		return nil, fmt.Errorf("fleet: rebuilt fingerprint %s disagrees with coordinator sweep %s — refusing to evaluate",
+			shortID(hex.EncodeToString(fp)), shortID(info.ID))
+	}
+	ws := &workerSweep{info: info, points: points, fp: fp, batch: spec.BatchSize}
+	switch spec.Engine {
+	case "graph":
+		ws.run = func(pts []stacks.Latencies, opts dse.ExploreOptions) (*dse.Report, error) {
+			return dse.ExploreGraphOpts(app.Graph, pts, opts)
+		}
+	case "rpstacks":
+		ws.run = func(pts []stacks.Latencies, opts dse.ExploreOptions) (*dse.Report, error) {
+			return dse.ExploreRpStacksOpts(app.Analysis, pts, opts)
+		}
+	case "sim":
+		ws.run = func(pts []stacks.Latencies, opts dse.ExploreOptions) (*dse.Report, error) {
+			return dse.ExploreSimOpts(r.Cfg, app.UOps, pts, opts)
+		}
+	}
+	return ws, nil
+}
+
+// postJSON posts req to the coordinator path and decodes the response into
+// out when the status is 2xx/410 (protocol answers); returns the HTTP
+// status. Transport failures return err.
+func (w *Worker) postJSON(ctx context.Context, path string, reqBody, out any) (int, error) {
+	raw, err := json.Marshal(reqBody)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+path, bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxProtocolBody))
+	_ = resp.Body.Close()
+	if rerr != nil {
+		return resp.StatusCode, rerr
+	}
+	if out != nil && len(body) > 0 {
+		_ = json.Unmarshal(body, out)
+	}
+	return resp.StatusCode, nil
+}
+
+// Handler serves the worker's liveness endpoints, mirroring rpserved's
+// semantics: GET /healthz is always 200 and reports ok or draining; GET
+// /readyz flips to 503 the moment the worker drains, so a local balancer or
+// smoke harness can watch the transition.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		status := "ok"
+		if w.draining.Load() {
+			status = "draining"
+		}
+		fleetJSON(rw, http.StatusOK, map[string]string{"status": status, "worker": w.id})
+	})
+	mux.HandleFunc("GET /readyz", func(rw http.ResponseWriter, _ *http.Request) {
+		if w.draining.Load() {
+			fleetJSON(rw, http.StatusServiceUnavailable, map[string]string{"status": "draining", "worker": w.id})
+			return
+		}
+		fleetJSON(rw, http.StatusOK, map[string]string{"status": "ready", "worker": w.id})
+	})
+	return mux
+}
+
+// sleepCtx sleeps d or until ctx cancels; reports whether the sleep ran its
+// course.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

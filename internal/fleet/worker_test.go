@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// worker_test.go — the worker's liveness endpoints mirror rpserved's:
+// /healthz always answers 200 and names the state; /readyz flips to 503 the
+// moment the worker starts draining.
+
+func testWorkerOnly(t *testing.T) *Worker {
+	t.Helper()
+	shared, err := store.OpenShared(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWorker(WorkerConfig{
+		CoordinatorURL: "http://127.0.0.1:0", // never dialed in these tests
+		Shared:         shared,
+		ID:             "probe",
+	})
+}
+
+func probe(t *testing.T, h http.Handler, path string) (int, map[string]string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("%s: non-JSON body %q", path, rec.Body.String())
+	}
+	return rec.Code, body
+}
+
+func TestWorkerHealthTransitions(t *testing.T) {
+	w := testWorkerOnly(t)
+	h := w.Handler()
+
+	if code, body := probe(t, h, "/healthz"); code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("/healthz = %d %v, want 200 ok", code, body)
+	}
+	if code, body := probe(t, h, "/readyz"); code != http.StatusOK || body["status"] != "ready" {
+		t.Errorf("/readyz = %d %v, want 200 ready", code, body)
+	}
+
+	w.Drain()
+
+	if code, body := probe(t, h, "/healthz"); code != http.StatusOK || body["status"] != "draining" {
+		t.Errorf("drained /healthz = %d %v, want 200 draining", code, body)
+	}
+	if code, body := probe(t, h, "/readyz"); code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Errorf("drained /readyz = %d %v, want 503 draining", code, body)
+	}
+	if _, body := probe(t, h, "/healthz"); body["worker"] != "probe" {
+		t.Errorf("healthz worker = %q, want probe", body["worker"])
+	}
+}
+
+// TestWorkerDrainStopsRun: a drained worker's Run returns nil without ever
+// needing a reachable coordinator.
+func TestWorkerDrainStopsRun(t *testing.T) {
+	w := testWorkerOnly(t)
+	w.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := w.Run(ctx); err != nil {
+		t.Fatalf("drained Run = %v, want nil", err)
+	}
+}

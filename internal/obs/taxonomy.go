@@ -26,6 +26,10 @@ const (
 	// CatAudit covers internal/audit: one audit root per audited sweep,
 	// one truth span per ground-truth re-derivation.
 	CatAudit = "audit"
+	// CatFleet covers internal/fleet: one lease span per granted lease, one
+	// evaluate and one publish span per chunk a worker runs, one assemble
+	// span per coordinator report.
+	CatFleet = "fleet"
 )
 
 const (
@@ -49,6 +53,18 @@ const (
 	// NameTruth is one ground-truth re-derivation (oracle run); TID
 	// carries the audit worker index.
 	NameTruth = "truth"
+	// NameLease is one granted fleet lease; Detail carries the sweep id,
+	// Arg the chunk's point count.
+	NameLease = "lease"
+	// NameEvaluate is one fleet chunk evaluated on a worker; TID carries
+	// nothing (workers are processes), Arg the chunk's point count.
+	NameEvaluate = "evaluate"
+	// NamePublish is one fleet chunk result blob published into the shared
+	// store plus its completion call; Arg carries the blob size in bytes.
+	NamePublish = "publish"
+	// NameAssemble is the coordinator reading every published chunk blob
+	// back and building the final Report; Arg carries the chunk count.
+	NameAssemble = "assemble"
 	// ArgPoints is the ArgKey of chunk/resume/sweep point counts.
 	ArgPoints = "points"
 )

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/fleet"
+	"repro/internal/isa"
+	"repro/internal/stacks"
+)
+
+// fleet.go — the coordinator face of the sweep fleet. With Config.FleetStore
+// set, the server mounts the /fleet/v1/ lease protocol and routes eligible
+// sweeps through rpworker processes instead of its own goroutines; the
+// assembled Report flows into ranking, auditing and metrics exactly like a
+// local sweep's.
+//
+// Eligibility is identity-driven: a worker rebuilds the engine inputs from
+// (workload, seed, µops) under the *baseline* machine and *default* analysis
+// options, so only a server running that same setup may delegate — and
+// uploaded traces, which have no regeneration recipe, always run locally.
+// The sweep fingerprint then proves the match bit-for-bit on every worker.
+
+// fleetDefaultsMatch reports whether this server's machine setup is the one
+// fleet workers deterministically rebuild: the baseline configuration and
+// the default RpStacks analysis options.
+func fleetDefaultsMatch(cfg *config.Config, opts core.Options) bool {
+	cj, err1 := json.Marshal(cfg)
+	bj, err2 := json.Marshal(config.Baseline())
+	return err1 == nil && err2 == nil && string(cj) == string(bj) &&
+		opts == core.DefaultOptions()
+}
+
+// fleetSweep runs the job's sweep through the fleet coordinator: compute the
+// sweep identity fingerprint from the engine inputs already in hand, hand
+// the recipe (not the data) to the coordinator, and block until the workers'
+// published chunks assemble into the Report.
+func (s *Server) fleetSweep(ctx context.Context, job *Job, points []stacks.Latencies,
+	art *setupArtifacts, uops []isa.MicroOp, setupWall time.Duration) (*dse.Report, error) {
+	spec := job.Spec
+	var fp []byte
+	var err error
+	switch spec.Engine {
+	case "graph":
+		fp, err = dse.SweepFingerprintGraph(art.graph, points)
+	case "rpstacks":
+		fp, err = dse.SweepFingerprintRpStacks(art.analysis, points)
+	case "sim":
+		fp, err = dse.SweepFingerprintSim(s.cfg.BaseConfig, uops, points)
+	default:
+		err = fmt.Errorf("serve: unknown engine %q", spec.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.fleet.Run(ctx, fleet.Sweep{
+		Spec: fleet.SweepSpec{
+			Workload:  spec.Workload,
+			Seed:      spec.Seed,
+			MicroOps:  spec.MicroOps,
+			Engine:    spec.Engine,
+			Axes:      fleet.FormatAxes(spec.Space.Axes),
+			BatchSize: spec.BatchSize,
+		},
+		Points:      points,
+		Fingerprint: fp,
+		ChunkSize:   s.cfg.FleetChunkSize,
+		Setup:       setupWall,
+		Tracer:      job.tracer,
+		TraceParent: job.root.ID(),
+	})
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/fleet"
+	"repro/internal/stacks"
+	"repro/internal/store"
+)
+
+// startServeWorkers runs n in-process fleet workers against the server's
+// /fleet/v1/ mount and stops them when the test ends.
+func startServeWorkers(t *testing.T, url string, shared *store.Shared, n int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for i := 0; i < n; i++ {
+		w := fleet.NewWorker(fleet.WorkerConfig{
+			CoordinatorURL: url,
+			Shared:         shared,
+			Concurrency:    2,
+			ID:             fmt.Sprintf("serve-w%d", i),
+			PollInterval:   2 * time.Millisecond,
+		})
+		go func() {
+			if err := w.Run(ctx); err != nil && err != context.Canceled {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+}
+
+// TestServerFleetDelegation is the serve-layer fleet integration test: a
+// server started with a fleet store delegates its sweep to two rpworker-style
+// workers, and the job response is point-for-point identical to the local
+// reference sweep. The rpstacks_fleet_* families must land on /metrics, and
+// an uploaded-trace job — which has no regeneration recipe — must still
+// complete through the local path without touching the fleet.
+func TestServerFleetDelegation(t *testing.T) {
+	shared, err := store.OpenShared(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		Workers:          2,
+		QueueDepth:       8,
+		SweepParallelism: 2,
+		FleetStore:       shared,
+		FleetLeaseTTL:    time.Minute,
+		FleetChunkSize:   3, // 12-point grid -> 4 chunks
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	startServeWorkers(t, ts.URL, shared, 2)
+
+	v, code := submitJob(t, ts.URL, testBody(""))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", code)
+	}
+	done := pollJob(t, ts.URL, v.ID)
+	if done.Status != JobDone {
+		t.Fatalf("status %s (error %q), want done", done.Status, done.Error)
+	}
+	if done.Result == nil {
+		t.Fatal("done without a result")
+	}
+	want := referencePoints(t)
+	if len(done.Result.Points) != len(want) {
+		t.Fatalf("returned %d points, want %d", len(done.Result.Points), len(want))
+	}
+	for k, got := range done.Result.Points {
+		if got.Cycles != want[k].Cycles {
+			t.Fatalf("point %d: cycles %g, want %g", k, got.Cycles, want[k].Cycles)
+		}
+		for ev, lat := range want[k].Latencies {
+			if got.Latencies[ev] != lat {
+				t.Fatalf("point %d: %s latency %g, want %g", k, ev, got.Latencies[ev], lat)
+			}
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := readAll(t, resp)
+	if v := metricValue(t, exp, `rpstacks_fleet_chunks_completed_total{result="first"}`); v != 4 {
+		t.Errorf("fleet first completions = %g, want 4", v)
+	}
+	if v := metricValue(t, exp, "rpstacks_fleet_leases_expired_total"); v != 0 {
+		t.Errorf("fleet lease expiries = %g, want 0", v)
+	}
+	if v := metricValue(t, exp, `rpstacks_sweep_duration_seconds_count{engine="rpstacks"}`); v != 1 {
+		t.Errorf("sweeps observed = %g, want 1 (fleet sweeps feed the same histogram)", v)
+	}
+
+	// An uploaded trace has no (workload, seed, µops) recipe a worker could
+	// rebuild, so it must run locally — and leave the fleet counters alone.
+	traceB64, _ := tinyTraceB64(t)
+	upload := fmt.Sprintf(`{"trace_b64":%q,"axes":["L2D=8,12,16,20","MemD=150,200,280"],`+
+		`"engine":"rpstacks","top":12,"timeout_ms":120000}`, traceB64)
+	uv, code := submitJob(t, ts.URL, upload)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload submit status %d, want 202", code)
+	}
+	udone := pollJob(t, ts.URL, uv.ID)
+	if udone.Status != JobDone {
+		t.Fatalf("upload status %s (error %q), want done", udone.Status, udone.Error)
+	}
+	if udone.Result == nil || len(udone.Result.Points) == 0 {
+		t.Fatal("upload job done without ranked points")
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp = readAll(t, resp)
+	if v := metricValue(t, exp, `rpstacks_fleet_chunks_completed_total{result="first"}`); v != 4 {
+		t.Errorf("fleet first completions after upload job = %g, want still 4", v)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestServerFleetIneligibleConfig proves the eligibility gate: a server whose
+// machine setup differs from the baseline the workers rebuild must not
+// delegate — the sweep runs locally and still answers correctly, with no
+// workers attached at all.
+func TestServerFleetIneligibleConfig(t *testing.T) {
+	shared, err := store.OpenShared(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Baseline()
+	cfg.Lat[stacks.L2D] += 2 // not the setup workers deterministically rebuild
+	s := New(Config{
+		Workers:       1,
+		QueueDepth:    4,
+		BaseConfig:    cfg,
+		FleetStore:    shared,
+		FleetLeaseTTL: time.Minute,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// No workers started: if the server tried to delegate, the job would hang
+	// until its deadline instead of finishing.
+	v, code := submitJob(t, ts.URL, testBody(""))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", code)
+	}
+	done := pollJob(t, ts.URL, v.ID)
+	if done.Status != JobDone {
+		t.Fatalf("status %s (error %q), want done", done.Status, done.Error)
+	}
+	if done.Result == nil || len(done.Result.Points) == 0 {
+		t.Fatal("job done without ranked points")
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

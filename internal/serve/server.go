@@ -41,6 +41,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/depgraph"
 	"repro/internal/dse"
+	"repro/internal/fleet"
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/serve/cache"
@@ -86,6 +87,17 @@ type Config struct {
 	// kept per job, oldest overwritten). Zero picks a default; negative
 	// disables per-job tracing entirely.
 	TraceCapacity int
+	// FleetStore, when non-nil, turns the server into a fleet coordinator:
+	// it mounts the /fleet/v1/ chunk-lease protocol and delegates eligible
+	// sweeps (regenerable workload jobs under the baseline setup) to
+	// rpworker processes publishing into this shared blob root. Workers must
+	// open the same directory. Nil keeps every sweep in-process.
+	FleetStore *store.Shared
+	// FleetLeaseTTL is the fleet lease heartbeat TTL (zero: 10s).
+	FleetLeaseTTL time.Duration
+	// FleetChunkSize is the points-per-lease granularity (zero: ~32 chunks
+	// per sweep).
+	FleetChunkSize int
 }
 
 // defaultTraceCapacity is the per-job flight-recorder ring size: enough for
@@ -104,6 +116,14 @@ type Server struct {
 	store     *store.Store
 	workloads *cache.Tiered[*workloadArtifacts]
 	artifacts *cache.Tiered[*setupArtifacts]
+
+	// fleet is the sweep coordinator when Config.FleetStore is set;
+	// fleetEligible gates delegation to servers whose machine setup is the
+	// one workers rebuild (baseline config, default analysis options) — a
+	// mismatched setup would make every worker refuse the sweep, so such
+	// servers keep sweeping locally.
+	fleet         *fleet.Coordinator
+	fleetEligible bool
 
 	queue    chan *Job
 	wg       sync.WaitGroup
@@ -219,6 +239,23 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /debug/audit", s.handleAudit)
 	s.registerCollectors()
+
+	if cfg.FleetStore != nil {
+		s.fleet = fleet.NewCoordinator(fleet.CoordinatorConfig{
+			Shared:   cfg.FleetStore,
+			LeaseTTL: cfg.FleetLeaseTTL,
+			Logger:   cfg.Logger,
+			Registry: s.metrics.reg,
+		})
+		// The coordinator's mux matches full /fleet/v1/... paths, so it
+		// mounts without a strip.
+		s.mux.Handle("/fleet/", s.fleet)
+		s.fleetEligible = fleetDefaultsMatch(cfg.BaseConfig, cfg.AnalysisOpts)
+		if !s.fleetEligible {
+			cfg.Logger.Warn("serve: fleet coordinator mounted but sweeps stay local: " +
+				"non-baseline machine setup cannot be rebuilt by workers")
+		}
+	}
 
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -379,15 +416,21 @@ func (s *Server) execute(ctx context.Context, job *Job) (*JobResult, error) {
 	}
 	var rep *dse.Report
 	var err error
-	switch spec.Engine {
-	case "rpstacks":
-		rep, err = dse.ExploreRpStacksOpts(art.analysis, points, opts)
-	case "graph":
-		rep, err = dse.ExploreGraphOpts(art.graph, points, opts)
-	case "sim":
-		rep, err = dse.ExploreSimOpts(s.cfg.BaseConfig, uops, points, opts)
-	default:
-		err = fmt.Errorf("serve: unknown engine %q", spec.Engine)
+	if s.fleet != nil && s.fleetEligible && spec.Trace == nil {
+		// Distributed sweep: workers regenerate the engine inputs from the
+		// job recipe; uploaded traces have no recipe and stay local.
+		rep, err = s.fleetSweep(ctx, job, points, art, uops, setupWall)
+	} else {
+		switch spec.Engine {
+		case "rpstacks":
+			rep, err = dse.ExploreRpStacksOpts(art.analysis, points, opts)
+		case "graph":
+			rep, err = dse.ExploreGraphOpts(art.graph, points, opts)
+		case "sim":
+			rep, err = dse.ExploreSimOpts(s.cfg.BaseConfig, uops, points, opts)
+		default:
+			err = fmt.Errorf("serve: unknown engine %q", spec.Engine)
+		}
 	}
 	if err != nil {
 		return nil, err

@@ -222,8 +222,13 @@ func (s *Store) Get(key string) ([]byte, time.Duration, bool) {
 
 // Put publishes payload under key with its build cost, atomically:
 // write-to-temp, sync, rename, then manifest rewrite (same discipline).
-// Re-publishing an existing key replaces it. Put never leaves a partially
-// visible entry; on error the store's prior state is intact.
+// Re-publishing an existing key replaces it — unless the payload is
+// byte-identical to what the index already records (same digest and size),
+// in which case Put is a cheap idempotent no-op: the entry's recency is
+// bumped in memory, but neither the object file nor the manifest is
+// rewritten. That is the duplicate-publication path a fleet's work-stealing
+// double completion takes. Put never leaves a partially visible entry; on
+// error the store's prior state is intact.
 func (s *Store) Put(key string, payload []byte, cost time.Duration) error {
 	if key == "" {
 		return fmt.Errorf("store: empty key")
@@ -231,6 +236,16 @@ func (s *Store) Put(key string, payload []byte, cost time.Duration) error {
 	if len(key) > maxKeyLen {
 		return fmt.Errorf("store: key length %d exceeds %d", len(key), maxKeyLen)
 	}
+	sum := sha256.Sum256(payload)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok && e.Sum == sum && e.Size == int64(len(payload)) {
+		s.tick++
+		e.LastUse = s.tick
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
 	tmp, err := os.CreateTemp(filepath.Join(s.dir, tmpSub), "obj-*")
 	if err != nil {
 		return fmt.Errorf("store: creating temp object: %w", err)
@@ -259,7 +274,7 @@ func (s *Store) Put(key string, payload []byte, cost time.Duration) error {
 	s.tick++
 	s.entries[key] = &entryMeta{
 		Key:     key,
-		Sum:     sha256.Sum256(payload),
+		Sum:     sum,
 		Size:    int64(len(payload)),
 		Cost:    cost,
 		LastUse: s.tick,

@@ -373,3 +373,76 @@ func TestManifestRoundTrip(t *testing.T) {
 		t.Fatal("truncated manifest decoded")
 	}
 }
+
+// TestPutDuplicateIdempotent: re-publishing a key with byte-identical
+// payload is a cheap in-memory no-op — no object rewrite, no manifest
+// rewrite, and (beyond hashing the payload) no allocation. This is what
+// makes concurrent artifact publication and fleet double-completion cheap.
+func TestPutDuplicateIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, dir, Options{})
+	payload := bytes.Repeat([]byte("p"), 8192)
+	if err := s.Put("dup-key", payload, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	objBefore, err := os.Stat(s.objectPath("dup-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manBefore, err := os.Stat(s.manifestPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.Put("dup-key", payload, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The fast path is a hash, a lock and a map probe; allow a stray alloc
+	// for run-to-run noise but reject anything resembling an encode+write.
+	if allocs > 1 {
+		t.Errorf("duplicate Put allocates %.0f objects per run, want <= 1", allocs)
+	}
+
+	objAfter, err := os.Stat(s.objectPath("dup-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manAfter, err := os.Stat(s.manifestPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !objAfter.ModTime().Equal(objBefore.ModTime()) {
+		t.Error("duplicate Put rewrote the object file")
+	}
+	if !manAfter.ModTime().Equal(manBefore.ModTime()) {
+		t.Error("duplicate Put rewrote the manifest")
+	}
+
+	// A changed payload under the same key still replaces.
+	if err := s.Put("dup-key", []byte("different"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok := s.Get("dup-key")
+	if !ok || string(got) != "different" {
+		t.Fatalf("Get after replace = %q, %v", got, ok)
+	}
+	// And the duplicate fast-path survives a restart (the manifest persists
+	// the payload digest).
+	s2 := reopen(t, dir, Options{})
+	objBefore2, err := os.Stat(s2.objectPath("dup-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Put("dup-key", []byte("different"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	objAfter2, err := os.Stat(s2.objectPath("dup-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !objAfter2.ModTime().Equal(objBefore2.ModTime()) {
+		t.Error("restarted duplicate Put rewrote the object file")
+	}
+}
