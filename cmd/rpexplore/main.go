@@ -9,7 +9,20 @@
 //	          [-parallelism 8] [-chunk 64] [-batch 8] [-checkpoint sweep.ckpt/] \
 //	          [-trace-out sweep.trace.json] [-progress] [-lossless] \
 //	          [-audit-fraction 0.1] [-audit-seed 1] [-audit-oracle sim|graph] \
-//	          [-audit-drift 5] [-audit-out audit.json]
+//	          [-audit-drift 5] [-audit-out audit.json] \
+//	          [-search halving|pareto|target;cpi=0.55;cost=L1D:2] \
+//	          [-search-out search.json] [-search-selfcheck]
+//
+// With -search, the exhaustive sweep is replaced by a guided search that
+// probes the space lazily — the grid is never materialized, so the axes may
+// span spaces far too large to enumerate. Modes: halving (global minimum
+// cycles), pareto (the exact CPI-vs-cost frontier under the spec's per-axis
+// cost weights) and target (cheapest point reaching the cpi budget; -target
+// doubles as the budget when the spec has no cpi key). Every returned
+// optimum is re-derived through the -audit-oracle; -checkpoint doubles as a
+// crash-safe probe log that is kept on success as the record of every
+// probed point; -search-selfcheck materializes small grids and fails unless
+// the search answer equals the exhaustive one.
 //
 // With -checkpoint, every completed chunk of design points is persisted
 // atomically under the given directory: a killed sweep re-run with the same
@@ -95,6 +108,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the sweep to this file (empty: off)")
 	progress := flag.Bool("progress", false, "print a periodic progress line to stderr")
 	lossless := flag.Bool("lossless", false, "disable RpStacks merging and segmentation: predictions become exactly the graph model (exponential worst case; keep -n tiny)")
+	search := flag.String("search", "", "guided search instead of an exhaustive sweep: halving|pareto|target with ;cpi= ;rounds= ;cost=EV:W,... keys; probes lazily, so the axes may span grids far too large to materialize")
+	searchOut := flag.String("search-out", "", "write the search result JSON to this file (empty: off)")
+	searchSelfcheck := flag.Bool("search-selfcheck", false, "after the search, sweep the materialized grid and fail unless the answers are exactly equal (small spaces only)")
 	auditFraction := flag.Float64("audit-fraction", 0, "share of design points to shadow-audit against ground truth (0: off, 1: all)")
 	auditSeed := flag.Uint64("audit-seed", 0, "seed mixed into the deterministic audit sample")
 	auditOracle := flag.String("audit-oracle", "sim", "audit ground truth: sim (re-simulate) or graph (dependence-graph model)")
@@ -143,7 +159,49 @@ func main() {
 		drift:    *auditDrift,
 		out:      *auditOut,
 	}
-	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk, *batch, *checkpoint, *traceOut, *progress, *lossless, au); err != nil {
+	sf := searchFlags{out: *searchOut, selfcheck: *searchSelfcheck}
+	if *search != "" {
+		spec, err := dse.ParseSearchSpec(*search)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpexplore:", err)
+			os.Exit(2)
+		}
+		// -target doubles as the budget of a target search whose spec has no
+		// cpi key; with any other mode it selects the exhaustive ranking
+		// report, which a search never prints.
+		if spec.Mode == dse.SearchTarget && spec.TargetCPI == 0 {
+			spec.TargetCPI = *target
+		}
+		if spec.Mode == dse.SearchTarget && spec.TargetCPI == 0 {
+			fmt.Fprintln(os.Stderr, "rpexplore: a target search needs a cpi budget (spec key cpi, or -target)")
+			os.Exit(2)
+		}
+		if spec.Mode != dse.SearchTarget && *target > 0 {
+			fmt.Fprintf(os.Stderr, "rpexplore: -target with a %s search is meaningless; use -search target\n", spec.Mode)
+			os.Exit(2)
+		}
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "rpexplore:", err)
+			os.Exit(2)
+		}
+		if au.fraction > 0 {
+			fmt.Fprintln(os.Stderr, "rpexplore: search optima are verified online through -audit-oracle; -audit-fraction applies to exhaustive sweeps")
+			os.Exit(2)
+		}
+		if *progress {
+			fmt.Fprintln(os.Stderr, "rpexplore: -progress needs a fixed point count; a search probes lazily")
+			os.Exit(2)
+		}
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "rpexplore: -trace-out is not yet wired for searches")
+			os.Exit(2)
+		}
+		sf.spec = spec
+	} else if *searchOut != "" || *searchSelfcheck {
+		fmt.Fprintln(os.Stderr, "rpexplore: -search-out and -search-selfcheck need -search")
+		os.Exit(2)
+	}
+	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk, *batch, *checkpoint, *traceOut, *progress, *lossless, au, sf); err != nil {
 		fmt.Fprintln(os.Stderr, "rpexplore:", err)
 		os.Exit(1)
 	}
@@ -158,7 +216,7 @@ type auditFlags struct {
 	out      string
 }
 
-func run(app string, axes axisFlags, method string, target float64, top, n, par, chunk, batch int, checkpoint, traceOut string, progress, lossless bool, au auditFlags) error {
+func run(app string, axes axisFlags, method string, target float64, top, n, par, chunk, batch int, checkpoint, traceOut string, progress, lossless bool, au auditFlags, sf searchFlags) error {
 	if len(axes) == 0 {
 		axes = axisFlags{
 			{Event: stacks.L1D, Values: []float64{1, 2, 3, 4}},
@@ -169,6 +227,9 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 	sp := dse.Space{Axes: axes}
 	if err := sp.Validate(); err != nil {
 		return err
+	}
+	if _, exact := sp.SizeSaturating(); !exact && sf.spec == nil {
+		return fmt.Errorf("the axes span more design points than fit in an int; a -search mode explores such spaces lazily")
 	}
 	r := experiments.NewRunner(n)
 	if lossless {
@@ -181,6 +242,9 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 	a, err := r.App(app)
 	if err != nil {
 		return err
+	}
+	if sf.spec != nil {
+		return runSearch(&sp, sf, r, a, app, method, par, batch, checkpoint, au)
 	}
 	points := sp.Enumerate(r.Cfg.Lat)
 	opts := dse.ExploreOptions{Parallelism: par, ChunkSize: chunk, BatchSize: batch,

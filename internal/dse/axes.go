@@ -37,19 +37,47 @@ func ParseAxisSpec(s string) (Axis, error) {
 	return Axis{Event: ev, Values: vals}, nil
 }
 
+// satMul multiplies two non-negative counts, reporting exact == false and
+// saturating at math.MaxInt instead of wrapping when the product overflows.
+// Every size computation below goes through it so an adversarial axis list
+// can never wrap the point count negative (or, worse, back under a cap).
+func satMul(a, b int) (int, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a > math.MaxInt/b {
+		return math.MaxInt, false
+	}
+	return a * b, true
+}
+
 // SizeWithin returns the design-point count if it does not exceed limit.
-// Unlike Size it cannot overflow on adversarial axis lists: the product is
-// abandoned as soon as it would pass limit, returning ok == false.
+// Unlike Size it reports overflow instead of saturating: the product is
+// computed with saturating arithmetic, so a huge axis list can neither wrap
+// the count nor slip back under the cap — it returns ok == false.
 func (s *Space) SizeWithin(limit int) (int, bool) {
-	n := 1
+	n, exact := s.SizeSaturating()
+	if !exact || n > limit {
+		return 0, false
+	}
+	return n, true
+}
+
+// SizeSaturating returns the design-point count with saturating arithmetic:
+// exact == true means n is the true product, exact == false means the true
+// product overflows int and n is math.MaxInt. It is the overflow-safe form
+// of Size for callers that must reason about non-materializable spaces (the
+// search layer reports it as the grid size an exhaustive sweep would cost).
+func (s *Space) SizeSaturating() (n int, exact bool) {
+	n, exact = 1, true
 	for _, a := range s.Axes {
 		if len(a.Values) == 0 {
 			continue // Validate rejects this; keep the product well-defined
 		}
-		if n > limit/len(a.Values) {
-			return 0, false
+		var ok bool
+		if n, ok = satMul(n, len(a.Values)); !ok {
+			exact = false
 		}
-		n *= len(a.Values)
 	}
-	return n, true
+	return n, exact
 }

@@ -1,0 +1,82 @@
+package dse
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stacks"
+)
+
+// axes_overflow_test.go — regression tests at the size-computation overflow
+// boundary. Before the saturating rewrite, a request with 8 axes of 256
+// values each (2^64 points) wrapped the int product to 0 and an adversarial
+// axis list could slip a non-materializable space under MaxGridPoints-style
+// caps; the space could then reach Enumerate and fail arbitrarily. All size
+// paths now saturate and the materializing entry points refuse overflowed
+// spaces outright.
+
+// wrapSpace builds axes whose exact point count is 2^bits — comfortably
+// past MaxInt, and with 2^64 an exact multiple of it so the old wrap-around
+// produced the worst possible answer: zero.
+func wrapSpace(axes, per int) *Space {
+	s := &Space{}
+	for i := 0; i < axes; i++ {
+		vals := make([]float64, per)
+		for j := range vals {
+			vals[j] = float64(j)
+		}
+		s.Axes = append(s.Axes, Axis{Event: stacks.Event(i + 1), Values: vals})
+	}
+	return s
+}
+
+func TestSizeSaturatesInsteadOfWrapping(t *testing.T) {
+	cases := []struct{ axes, per int }{
+		{8, 256}, // 2^64: wraps to exactly 0 in naive int arithmetic
+		{7, 512}, // 2^63: wraps negative
+		{4, 65536},
+	}
+	for _, c := range cases {
+		s := wrapSpace(c.axes, c.per)
+		n, exact := s.SizeSaturating()
+		if exact || n != math.MaxInt {
+			t.Errorf("%d axes × %d values: SizeSaturating = (%d, %v), want (MaxInt, false)", c.axes, c.per, n, exact)
+		}
+		if got := s.Size(); got != math.MaxInt {
+			t.Errorf("%d axes × %d values: Size = %d, want saturation at MaxInt", c.axes, c.per, got)
+		}
+		if _, ok := s.SizeWithin(math.MaxInt); ok {
+			t.Errorf("%d axes × %d values: SizeWithin(MaxInt) accepted an overflowed space", c.axes, c.per)
+		}
+		if _, ok := s.SizeWithin(1 << 20); ok {
+			t.Errorf("%d axes × %d values: overflowed space slipped under a small cap", c.axes, c.per)
+		}
+	}
+}
+
+func TestSizeWithinExactBoundary(t *testing.T) {
+	s := wrapSpace(3, 4) // exactly 64 points
+	if n, ok := s.SizeWithin(64); !ok || n != 64 {
+		t.Fatalf("SizeWithin(limit == size) = (%d, %v), want (64, true)", n, ok)
+	}
+	if _, ok := s.SizeWithin(63); ok {
+		t.Fatal("SizeWithin(limit == size-1) accepted the space")
+	}
+	if n, exact := s.SizeSaturating(); !exact || n != 64 {
+		t.Fatalf("SizeSaturating = (%d, %v), want (64, true)", n, exact)
+	}
+}
+
+func TestEnumerateRefusesOverflowedSpace(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Enumerate materialized a 2^64-point space")
+		}
+		if !strings.Contains(r.(string), "search mode") {
+			t.Fatalf("panic %q does not point at the search modes", r)
+		}
+	}()
+	wrapSpace(8, 256).Enumerate(stacks.Latencies{})
+}

@@ -32,12 +32,11 @@ type Space struct {
 	Axes []Axis
 }
 
-// Size returns the number of design points.
+// Size returns the number of design points, saturating at math.MaxInt when
+// the product overflows (SizeSaturating distinguishes the two; SizeWithin
+// enforces a cap). It can therefore never wrap negative on huge axis lists.
 func (s *Space) Size() int {
-	n := 1
-	for _, a := range s.Axes {
-		n *= len(a.Values)
-	}
+	n, _ := s.SizeSaturating()
 	return n
 }
 
@@ -53,9 +52,16 @@ func (s *Space) Point(base stacks.Latencies, idx int) stacks.Latencies {
 	return l
 }
 
-// Enumerate materializes every design point.
+// Enumerate materializes every design point. It panics on a space whose
+// size overflows int — such a space cannot be materialized at all; callers
+// facing user-supplied axes should gate on SizeWithin (or use a search
+// mode, which never materializes the grid).
 func (s *Space) Enumerate(base stacks.Latencies) []stacks.Latencies {
-	out := make([]stacks.Latencies, s.Size())
+	n, exact := s.SizeSaturating()
+	if !exact {
+		panic("dse: design space too large to materialize; use a search mode")
+	}
+	out := make([]stacks.Latencies, n)
 	for i := range out {
 		out[i] = s.Point(base, i)
 	}

@@ -1,0 +1,109 @@
+package dse
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// search_fuzz_test.go — robustness of the search-spec decoder shared by the
+// rpexplore -search flag and the service's "search" job-request field. The
+// fuzz invariant: whatever ParseSearchSpec accepts must already be
+// normalized and validated, and must round-trip exactly through its own
+// canonical String rendering.
+
+func FuzzParseSearchSpec(f *testing.F) {
+	for _, seed := range []string{
+		"halving",
+		"pareto",
+		"target;cpi=0.55",
+		"pareto;rounds=12",
+		"target;cpi=0.55;cost=L1D:2,FpAdd:1.5",
+		"halving;cost=MemD:0.25",
+		"halving;rounds=3;cost=L1D:1,L2D:2,MemD:4",
+		"target;cpi=1e-3",
+		"",
+		";",
+		"halving;cpi=1",
+		"target",
+		"target;cpi=-1",
+		"target;cpi=NaN",
+		"halving;cost=L1D:0",
+		"halving;cost=L1D:1,L1D:2",
+		"halving;cost=Base:1",
+		"halving;cost=NoSuchEvent:1",
+		"halving;rounds=-4",
+		"halving;bogus=1",
+		"halving;cost=L1D",
+		"halving;cost=L1D:2;cost=L2D:3",
+		"halving;rounds=999999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSearchSpec(s)
+		if err != nil {
+			if spec != nil {
+				t.Fatalf("%q: error %v returned alongside a spec", s, err)
+			}
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%q: accepted spec fails its own validation: %v", s, err)
+		}
+		back, err := ParseSearchSpec(spec.String())
+		if err != nil {
+			t.Fatalf("%q: canonical form %q does not re-parse: %v", s, spec.String(), err)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("%q: round-trip through %q changed the spec: %+v vs %+v", s, spec.String(), spec, back)
+		}
+	})
+}
+
+// TestParseSearchSpecRejects pins the decoder's error surface: each entry
+// must be rejected with a message containing the fragment.
+func TestParseSearchSpecRejects(t *testing.T) {
+	cases := []struct{ in, frag string }{
+		{"", "unknown search mode"},
+		{"gradient", "unknown search mode"},
+		{"halving;cpi=0.5", "only meaningful"},
+		{"target;cpi=-1", "non-negative"},
+		{"target;cpi=Inf", "non-negative"},
+		{"halving;rounds=-2", "bad rounds"},
+		{"halving;rounds=x", "bad rounds"},
+		{"halving;oops=1", "unknown key"},
+		{"halving;oops", "key=value"},
+		{"halving;cost=L1D", "Event:weight"},
+		{"halving;cost=Bogus:1", "unknown event"},
+		{"halving;cost=L1D:zero", "bad weight"},
+		{"halving;cost=L1D:0", "positive"},
+		{"halving;cost=L1D:-3", "positive"},
+		{"halving;cost=L1D:1,L1D:2", "duplicate cost weight"},
+		{"halving;cost=L1D:1;cost=L2D:2", "duplicate cost key"},
+		{"halving;cost=Base:1", "not a latency-domain knob"},
+	}
+	for _, c := range cases {
+		if _, err := ParseSearchSpec(c.in); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ParseSearchSpec(%q) = %v, want error containing %q", c.in, err, c.frag)
+		}
+	}
+}
+
+// TestParseSearchSpecAccepts pins the decoded structure of representative
+// valid forms, including whitespace tolerance and cost normalization.
+func TestParseSearchSpecAccepts(t *testing.T) {
+	spec, err := ParseSearchSpec(" target ; cpi = 0.55 ; rounds = 7 ; cost = FpAdd : 1.5 , L1D : 2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Mode != SearchTarget || spec.TargetCPI != 0.55 || spec.MaxRounds != 7 {
+		t.Fatalf("decoded %+v", spec)
+	}
+	if len(spec.Cost) != 2 || spec.Cost[0].Event.String() != "L1D" || spec.Cost[1].Event.String() != "FpAdd" {
+		t.Fatalf("cost weights not normalized by event order: %+v", spec.Cost)
+	}
+	if got := spec.String(); got != "target;cpi=0.55;rounds=7;cost=L1D:2,FpAdd:1.5" {
+		t.Fatalf("canonical form %q", got)
+	}
+}

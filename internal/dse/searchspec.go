@@ -1,0 +1,175 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stacks"
+)
+
+// searchspec.go — the guided-search request. A SearchSpec names which search
+// mode walks a Space and carries the mode's knobs. It travels in two forms
+// that share one decoder: cmd/rpexplore's -search flag and the exploration
+// service's "search" job-request field both use the compact textual form
+// ParseSearchSpec accepts, so the CLI and the service cannot drift apart.
+
+// Search mode names. All three probe design points lazily and — on spaces
+// with per-axis monotone cycle counts, which every latency-domain engine in
+// this repo has — return exactly the answer an exhaustive sweep would.
+const (
+	// SearchHalving successively halves the surviving axis ranges toward
+	// the argmin-cycles design point (ties broken toward the cheapest, then
+	// the lowest canonical index).
+	SearchHalving = "halving"
+	// SearchPareto walks out the exact Pareto frontier of (cycles, cost).
+	SearchPareto = "pareto"
+	// SearchTarget seeks the cheapest design point whose cycle count meets
+	// a CPI budget ("reach CPI X cheapest").
+	SearchTarget = "target"
+)
+
+// CostWeight scales one axis's contribution to the hardware cost model.
+type CostWeight struct {
+	Event  stacks.Event
+	Weight float64
+}
+
+// SearchSpec selects and parameterizes a guided search over a Space.
+type SearchSpec struct {
+	// Mode is one of SearchHalving, SearchPareto, SearchTarget.
+	Mode string
+	// TargetCPI is the cycles-per-µop budget of SearchTarget: the search
+	// returns the cheapest point predicted at or under it. Zero (and only
+	// zero) for the other modes.
+	TargetCPI float64
+	// MaxRounds caps the probe rounds; zero runs until the search has
+	// provably converged on the exact answer. A capped search that stops
+	// early reports Converged == false on its result.
+	MaxRounds int
+	// Cost overrides per-axis cost-model weights (default 1 per axis),
+	// sorted by event and with no duplicates. The cost of a design point is
+	// the weighted sum over axes of (axis max latency − point latency):
+	// zero for the all-slowest corner, growing as latencies are bought
+	// down, mirroring the paper's Table II intuition that faster structures
+	// cost more hardware.
+	Cost []CostWeight
+}
+
+// ParseSearchSpec decodes the compact textual search form shared by
+// cmd/rpexplore's -search flag and the service's "search" job field:
+//
+//	mode[;key=value]...
+//
+// e.g. "halving", "pareto;rounds=40", "target;cpi=0.55;cost=L1D:2,FpAdd:1.5".
+// Keys: cpi (target-mode CPI budget), rounds (max probe rounds), cost
+// (Event:weight list). The decoded spec is normalized (cost weights sorted
+// by event) and validated; ParseSearchSpec(spec.String()) round-trips.
+func ParseSearchSpec(s string) (*SearchSpec, error) {
+	fields := strings.Split(s, ";")
+	spec := &SearchSpec{Mode: strings.TrimSpace(fields[0])}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return nil, fmt.Errorf("dse: search spec %q: want key=value, got %q", s, f)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "cpi":
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dse: search spec %q: bad cpi %q", s, val)
+			}
+			spec.TargetCPI = x
+		case "rounds":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dse: search spec %q: bad rounds %q", s, val)
+			}
+			spec.MaxRounds = n
+		case "cost":
+			if spec.Cost != nil {
+				return nil, fmt.Errorf("dse: search spec %q: duplicate cost key", s)
+			}
+			for _, entry := range strings.Split(val, ",") {
+				name, w, ok := strings.Cut(entry, ":")
+				if !ok {
+					return nil, fmt.Errorf("dse: search spec %q: cost entry %q: want Event:weight", s, entry)
+				}
+				ev, err := stacks.ParseEvent(strings.TrimSpace(name))
+				if err != nil {
+					return nil, fmt.Errorf("dse: search spec %q: %w", s, err)
+				}
+				x, err := strconv.ParseFloat(strings.TrimSpace(w), 64)
+				if err != nil {
+					return nil, fmt.Errorf("dse: search spec %q: bad weight %q", s, w)
+				}
+				spec.Cost = append(spec.Cost, CostWeight{Event: ev, Weight: x})
+			}
+		default:
+			return nil, fmt.Errorf("dse: search spec %q: unknown key %q", s, key)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// String renders the spec back into the canonical compact form
+// ParseSearchSpec accepts (defaults omitted).
+func (s *SearchSpec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Mode)
+	if s.TargetCPI != 0 {
+		fmt.Fprintf(&b, ";cpi=%g", s.TargetCPI)
+	}
+	if s.MaxRounds != 0 {
+		fmt.Fprintf(&b, ";rounds=%d", s.MaxRounds)
+	}
+	if len(s.Cost) > 0 {
+		b.WriteString(";cost=")
+		for i, c := range s.Cost {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s:%g", c.Event, c.Weight)
+		}
+	}
+	return b.String()
+}
+
+// Validate normalizes the spec (cost weights sorted by event) and checks it
+// is internally consistent. Whether the cost events name real axes is
+// NewSearchPlan's job — it needs the Space.
+func (s *SearchSpec) Validate() error {
+	switch s.Mode {
+	case SearchHalving, SearchPareto, SearchTarget:
+	default:
+		return fmt.Errorf("dse: unknown search mode %q (want %s, %s or %s)", s.Mode, SearchHalving, SearchPareto, SearchTarget)
+	}
+	if math.IsNaN(s.TargetCPI) || math.IsInf(s.TargetCPI, 0) || s.TargetCPI < 0 {
+		return fmt.Errorf("dse: search cpi %g is not a finite non-negative budget", s.TargetCPI)
+	}
+	if s.TargetCPI > 0 && s.Mode != SearchTarget {
+		return fmt.Errorf("dse: search cpi is only meaningful for mode %s", SearchTarget)
+	}
+	if s.MaxRounds < 0 {
+		return fmt.Errorf("dse: search rounds %d is negative", s.MaxRounds)
+	}
+	sort.SliceStable(s.Cost, func(i, j int) bool { return s.Cost[i].Event < s.Cost[j].Event })
+	for i, c := range s.Cost {
+		if !c.Event.Optimizable() {
+			return fmt.Errorf("dse: cost weight for %s: not a latency-domain knob", c.Event)
+		}
+		if i > 0 && s.Cost[i-1].Event == c.Event {
+			return fmt.Errorf("dse: duplicate cost weight for %s", c.Event)
+		}
+		if math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0) || c.Weight <= 0 {
+			return fmt.Errorf("dse: cost weight for %s must be finite and positive, got %g", c.Event, c.Weight)
+		}
+	}
+	return nil
+}

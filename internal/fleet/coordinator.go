@@ -166,6 +166,10 @@ func (c *Coordinator) Run(ctx context.Context, sw Sweep) (*dse.Report, error) {
 	if _, err := methodName(sw.Spec.Engine); err != nil {
 		return nil, err
 	}
+	if sw.Explicit && len(sw.Points) > maxExplicitPoints {
+		return nil, fmt.Errorf("fleet: explicit sweep has %d points, limit %d (probe rounds are expected to stay small)",
+			len(sw.Points), maxExplicitPoints)
+	}
 	id := hex.EncodeToString(sw.Fingerprint)
 
 	c.mu.Lock()
@@ -231,6 +235,9 @@ func (c *Coordinator) buildState(id string, sw Sweep) *sweepState {
 	}
 	st.remaining = len(st.chunks)
 	st.info = sweepInfo{ID: id, Spec: sw.Spec, Points: n, ChunkSize: csize, Chunks: len(st.chunks)}
+	if sw.Explicit {
+		st.info.PointList = sw.Points
+	}
 	for i := range st.chunks {
 		ch := &st.chunks[i]
 		raw, ok := c.shared.Get(chunkKey(id, i))
@@ -543,6 +550,10 @@ func (c *Coordinator) activeSweeps() int {
 // maxProtocolBody bounds a protocol request body; every message is a small
 // JSON object.
 const maxProtocolBody = 1 << 20
+
+// maxExplicitPoints caps an Explicit sweep's point list so the JSON sweep
+// info a worker fetches stays comfortably under maxProtocolBody.
+const maxExplicitPoints = 2048
 
 func fleetJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

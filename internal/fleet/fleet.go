@@ -6,10 +6,13 @@
 // from the chunk result blobs workers publish into a shared store root —
 // exactly the way checkpoint resume rebuilds a Report from chunk files.
 //
-// The protocol is deliberately identity-first. A worker never receives
-// points over the wire: it receives a SweepSpec — workload name, seed, µop
-// count, engine, axes — deterministically rebuilds the engine inputs from
-// it, and recomputes the sweep fingerprint. Only if that fingerprint equals
+// The protocol is deliberately identity-first. A worker normally receives
+// no points over the wire: it receives a SweepSpec — workload name, seed,
+// µop count, engine, axes — deterministically rebuilds the engine inputs
+// from it, and recomputes the sweep fingerprint. The one exception is an
+// explicit sweep (a guided search's probe round), whose point list is not
+// the axes' enumeration and so rides along in the sweep info; the
+// fingerprint covers every point value either way. Only if that fingerprint equals
 // the coordinator's sweep id does the worker evaluate anything; a mismatch
 // means the two processes would disagree on the sweep's inputs, and the
 // worker refuses outright rather than publish plausible-but-foreign
@@ -127,6 +130,13 @@ type Sweep struct {
 	Fingerprint []byte
 	// ChunkSize is the points-per-lease granularity (0: ~32 chunks).
 	ChunkSize int
+	// Explicit marks a sweep whose Points are not Spec.Axes' row-major
+	// enumeration — a guided search's probe round. The coordinator then
+	// ships the point list to workers inside the sweep info instead of
+	// having them re-derive it; identity safety is unchanged because the
+	// fingerprint hashes every point value. Explicit sweeps are capped at
+	// maxExplicitPoints so the info stays within the protocol body limit.
+	Explicit bool
 	// Setup is the coordinator's one-time engine preparation cost, recorded
 	// into Report.Setup like dse.ExploreOptions.Setup.
 	Setup time.Duration
@@ -146,6 +156,10 @@ type sweepInfo struct {
 	Points    int       `json:"points"`
 	ChunkSize int       `json:"chunk_size"`
 	Chunks    int       `json:"chunks"`
+	// PointList is the explicit design-point list of an Explicit sweep
+	// (a guided search's probe round); empty for enumerable sweeps, whose
+	// workers re-derive the points from Spec.Axes.
+	PointList []stacks.Latencies `json:"point_list,omitempty"`
 }
 
 // leaseRequest asks for work; Worker identifies the process for liveness

@@ -35,6 +35,8 @@ var testEngines = []string{"graph", "rpstacks", "sim"}
 
 type fleetEnv struct {
 	err    error
+	runner *experiments.Runner
+	app    *experiments.App
 	points []stacks.Latencies
 	golden map[string]*dse.Report
 }
@@ -58,6 +60,7 @@ func testFleetEnv(t *testing.T) *fleetEnv {
 			e.err = err
 			return
 		}
+		e.runner, e.app = r, app
 		space, err := parseAxes(testAxes)
 		if err != nil {
 			e.err = err

@@ -72,6 +72,11 @@ type Worker struct {
 	// sweeps caches rebuilt engines per sweep id; touched only by the Run
 	// goroutine.
 	sweeps map[string]*workerSweep
+	// runners caches workload rebuilds per (seed, µops) recipe, so the
+	// many single-round sweeps of one guided search (each a distinct
+	// fingerprint) re-simulate the workload once, not once per round.
+	// Touched only by the Run goroutine.
+	runners map[string]*experiments.Runner
 }
 
 // workerSweep is one sweep's rebuilt, fingerprint-verified engine state.
@@ -125,6 +130,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		tracer:      cfg.Tracer,
 		onEvaluated: cfg.onEvaluated,
 		sweeps:      make(map[string]*workerSweep),
+		runners:     make(map[string]*experiments.Runner),
 	}
 }
 
@@ -361,6 +367,21 @@ func (w *Worker) getSweep(ctx context.Context, id string) (*workerSweep, error) 
 	return ws, nil
 }
 
+// runner returns the cached workload runner for the spec's (seed, µops)
+// recipe, creating it on first use. The runner memoizes rebuilt apps per
+// workload, so consecutive sweeps over the same recipe — notably the
+// round-per-fingerprint stream of a guided search — share one rebuild.
+func (w *Worker) runner(spec SweepSpec) *experiments.Runner {
+	key := fmt.Sprintf("%d|%d", spec.Seed, spec.MicroOps)
+	if r, ok := w.runners[key]; ok {
+		return r
+	}
+	r := experiments.NewRunner(spec.MicroOps)
+	r.Seed = spec.Seed
+	w.runners[key] = r
+	return r
+}
+
 // buildSweep deterministically rebuilds the sweep's engine inputs from its
 // spec and proves identity: the recomputed fingerprint must equal the
 // coordinator's sweep id, or the worker refuses the sweep outright — the
@@ -371,17 +392,22 @@ func (w *Worker) buildSweep(info sweepInfo) (*workerSweep, error) {
 	if _, err := methodName(spec.Engine); err != nil {
 		return nil, err
 	}
-	space, err := parseAxes(spec.Axes)
-	if err != nil {
-		return nil, fmt.Errorf("fleet: sweep %s axes: %w", shortID(info.ID), err)
-	}
-	r := experiments.NewRunner(spec.MicroOps)
-	r.Seed = spec.Seed
+	r := w.runner(spec)
 	app, err := r.App(spec.Workload)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: rebuilding sweep %s: %w", shortID(info.ID), err)
 	}
-	points := space.Enumerate(r.Cfg.Lat)
+	// An explicit sweep (a guided search's probe round) ships its point
+	// list because the points are not the axes' enumeration; the
+	// fingerprint check below binds every shipped value all the same.
+	points := info.PointList
+	if len(points) == 0 {
+		space, err := parseAxes(spec.Axes)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: sweep %s axes: %w", shortID(info.ID), err)
+		}
+		points = space.Enumerate(r.Cfg.Lat)
+	}
 	if len(points) != info.Points {
 		return nil, fmt.Errorf("fleet: sweep %s: rebuilt %d points, coordinator has %d",
 			shortID(info.ID), len(points), info.Points)

@@ -42,6 +42,12 @@ const (
 	// NameResume is one checkpoint chunk restored instead of evaluated;
 	// Arg carries its point count.
 	NameResume = "resume"
+	// NameSearch is the root span of one guided search; Detail carries
+	// "engine/mode", Arg the probe count.
+	NameSearch = "search"
+	// NameRound is one search probe round; Arg carries the round's probed
+	// point count. The round's engine work appears as nested chunk spans.
+	NameRound = "round"
 	// NameQueueWait is the time a job spent queued before a worker
 	// claimed it.
 	NameQueueWait = "queue-wait"

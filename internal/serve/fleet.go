@@ -40,8 +40,10 @@ func fleetDefaultsMatch(cfg *config.Config, opts core.Options) bool {
 // sweep identity fingerprint from the engine inputs already in hand, hand
 // the recipe (not the data) to the coordinator, and block until the workers'
 // published chunks assemble into the Report.
+// explicit marks point lists that are not the space's enumeration (a guided
+// search's probe round); the coordinator then ships them to workers.
 func (s *Server) fleetSweep(ctx context.Context, job *Job, points []stacks.Latencies,
-	art *setupArtifacts, uops []isa.MicroOp, setupWall time.Duration) (*dse.Report, error) {
+	art *setupArtifacts, uops []isa.MicroOp, setupWall time.Duration, explicit bool) (*dse.Report, error) {
 	spec := job.Spec
 	var fp []byte
 	var err error
@@ -70,6 +72,7 @@ func (s *Server) fleetSweep(ctx context.Context, job *Job, points []stacks.Laten
 		Points:      points,
 		Fingerprint: fp,
 		ChunkSize:   s.cfg.FleetChunkSize,
+		Explicit:    explicit,
 		Setup:       setupWall,
 		Tracer:      job.tracer,
 		TraceParent: job.root.ID(),

@@ -7,8 +7,9 @@ import (
 // FuzzParseJobRequest throws arbitrary bytes at the job-request decoder. The
 // decoder guards the service's front door, so the invariants are strict: no
 // panic on any input, and every accepted spec honors the limits — the grid
-// size stays under the cap without the grid ever being materialized, exactly
-// one subject is set, and every scalar landed inside its bound.
+// size stays under the cap without the grid ever being materialized (unless
+// a search mode lifts it, which must then come with a valid SearchSpec),
+// exactly one subject is set, and every scalar landed inside its bound.
 func FuzzParseJobRequest(f *testing.F) {
 	seeds := []string{
 		`{"workload":"429.mcf","axes":["L2D=8,12,16","MemD=150,200"]}`,
@@ -33,8 +34,17 @@ func FuzzParseJobRequest(f *testing.F) {
 		if (spec.Workload == "") == (spec.Trace == nil) {
 			t.Fatalf("accepted spec without exactly one subject: %+v", spec)
 		}
-		if spec.GridSize < 1 || spec.GridSize > lim.MaxGridPoints {
-			t.Fatalf("grid size %d outside (0, %d]", spec.GridSize, lim.MaxGridPoints)
+		if spec.GridSize < 1 {
+			t.Fatalf("grid size %d is not positive", spec.GridSize)
+		}
+		if spec.Search == nil {
+			if spec.GridSize > lim.MaxGridPoints {
+				t.Fatalf("exhaustive grid size %d over the cap %d", spec.GridSize, lim.MaxGridPoints)
+			}
+		} else {
+			if err := spec.Search.Validate(); err != nil {
+				t.Fatalf("accepted invalid search spec: %v", err)
+			}
 		}
 		if err := spec.Space.Validate(); err != nil {
 			t.Fatalf("accepted invalid space: %v", err)

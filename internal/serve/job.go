@@ -60,6 +60,28 @@ type PointResult struct {
 	Latencies map[string]float64 `json:"latencies"`
 	Cycles    float64            `json:"cycles"`
 	CPI       float64            `json:"cpi"`
+	// Cost is the point's hardware-cost model value; search jobs only.
+	Cost float64 `json:"cost,omitempty"`
+	// VerifyErrPct is the online audit-oracle verification error of a
+	// search-returned optimum, percent of the oracle's cycle count.
+	VerifyErrPct float64 `json:"verify_err_pct,omitempty"`
+}
+
+// SearchSummary is the guided-search telemetry of a search job's result:
+// how the lazy probe loop covered the (possibly non-materializable) grid
+// and how its returned optima verified against the audit oracle.
+type SearchSummary struct {
+	Mode            string  `json:"mode"`
+	GridPoints      int     `json:"grid_points"`
+	Probes          int     `json:"probes"`
+	ResumedProbes   int     `json:"resumed_probes,omitempty"`
+	Rounds          int     `json:"rounds"`
+	PeakBoxes       int     `json:"peak_boxes"`
+	Converged       bool    `json:"converged"`
+	Feasible        bool    `json:"feasible"`
+	FrontierSize    int     `json:"frontier_size,omitempty"`
+	Verified        bool    `json:"verified"`
+	VerifyMaxErrPct float64 `json:"verify_max_err_pct"`
 }
 
 // JobResult is the outcome of one finished exploration.
@@ -74,6 +96,10 @@ type JobResult struct {
 	SweepMS     float64       `json:"sweep_ms"`
 	Workers     int           `json:"sweep_workers"`
 	Points      []PointResult `json:"points"`
+	// Search summarizes the probe loop of a guided-search job; nil for
+	// exhaustive sweeps. Points then holds the verified optimum (halving,
+	// target) or the full Pareto frontier, cheapest-fastest first.
+	Search *SearchSummary `json:"search,omitempty"`
 }
 
 func (j *Job) setStatus(st JobStatus) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/dse"
 	"repro/internal/obs"
 	"repro/internal/obs/prom"
 	"repro/internal/serve/cache"
@@ -45,6 +46,14 @@ var auditErrBuckets = []float64{0.01, 0.1, 0.5, 1, 2, 5, 10, 25, 100}
 // auditOutcomes are the audit point-counter labels, in render order.
 var auditOutcomes = []string{"audited", "skipped_budget"}
 
+// searchModes are the guided-search mode labels, in render order.
+var searchModes = []string{dse.SearchHalving, dse.SearchPareto, dse.SearchTarget}
+
+// frontierBuckets bound the Pareto-frontier size histogram: a frontier is
+// at most min(distinct cycle values, distinct cost values), small in
+// practice even over huge grids.
+var frontierBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 // metrics holds the service's owned metric handles plus the registry that
 // renders everything.
 type metrics struct {
@@ -61,6 +70,11 @@ type metrics struct {
 	auditDivergence *prom.HistogramVec
 	auditPoints     *prom.CounterVec
 	auditDrift      *prom.Counter
+
+	searchProbes   *prom.CounterVec
+	searchResumed  *prom.CounterVec
+	searchRounds   *prom.CounterVec
+	searchFrontier *prom.Histogram
 }
 
 func newMetrics() *metrics {
@@ -85,6 +99,14 @@ func newMetrics() *metrics {
 			"Sampled audit points by outcome.", "outcome"),
 		auditDrift: reg.Counter("rpstacks_audit_drift_total",
 			"Audited points whose prediction error exceeded the drift threshold."),
+		searchProbes: reg.CounterVec("rpstacks_search_probes_total",
+			"Design points evaluated by guided searches, by mode.", "mode"),
+		searchResumed: reg.CounterVec("rpstacks_search_resumed_probes_total",
+			"Search probes restored from probe logs instead of re-evaluated, by mode.", "mode"),
+		searchRounds: reg.CounterVec("rpstacks_search_rounds_total",
+			"Probe rounds run by guided searches, by mode.", "mode"),
+		searchFrontier: reg.Histogram("rpstacks_search_frontier_size",
+			"Pareto-frontier sizes returned by pareto searches.", frontierBuckets),
 	}
 	// Pre-create every labelled row so the exposition is complete and its
 	// order deterministic from the first scrape.
@@ -102,6 +124,11 @@ func newMetrics() *metrics {
 	}
 	for _, outcome := range auditOutcomes {
 		m.auditPoints.With(outcome)
+	}
+	for _, mode := range searchModes {
+		m.searchProbes.With(mode)
+		m.searchResumed.With(mode)
+		m.searchRounds.With(mode)
 	}
 	registerBuildInfo(reg)
 	return m
@@ -149,6 +176,16 @@ func (m *metrics) observeAuditPoint(p audit.PointAudit, jobID, digest string) {
 		m.auditDrift.Inc()
 	}
 	m.auditPoints.With("audited").Inc()
+}
+
+// observeSearch feeds one finished guided search into the search families.
+func (m *metrics) observeSearch(res *dse.SearchResult) {
+	m.searchProbes.With(res.Mode).Add(float64(res.Probes))
+	m.searchResumed.With(res.Mode).Add(float64(res.ResumedProbes))
+	m.searchRounds.With(res.Mode).Add(float64(res.Rounds))
+	if res.Mode == dse.SearchPareto {
+		m.searchFrontier.Observe(float64(len(res.Frontier)))
+	}
 }
 
 func (m *metrics) jobFinished(st JobStatus) {

@@ -105,6 +105,16 @@ type JobRequest struct {
 	// AuditDriftPct overrides the per-point error threshold (percent)
 	// beyond which the job's audit status flips to drift (0: the default).
 	AuditDriftPct float64 `json:"audit_drift_pct,omitempty"`
+
+	// Search switches the job from an exhaustive sweep to a guided search,
+	// in the compact textual form shared with cmd/rpexplore's -search flag:
+	// "halving", "pareto;rounds=40", "target;cpi=0.55;cost=L1D:2,...". A
+	// search job probes design points lazily, so its grid may exceed
+	// MaxGridPoints — the axes are still bounded per-axis, and every
+	// returned optimum is verified online against an audit oracle (making
+	// audit_fraction redundant and rejected). A target-mode search with no
+	// cpi key borrows target_cpi.
+	Search string `json:"search,omitempty"`
 }
 
 // JobSpec is the validated, executable form of a JobRequest.
@@ -126,6 +136,11 @@ type JobSpec struct {
 	AuditFraction float64
 	AuditSeed     uint64
 	AuditDriftPct float64
+
+	// Search is non-nil for guided-search jobs; GridSize is then the
+	// (possibly MaxInt-saturated) size of the grid an exhaustive sweep
+	// would have cost, not a materialization bound.
+	Search *dse.SearchSpec
 }
 
 // ParseJobRequest decodes and validates one job submission against the
@@ -200,11 +215,38 @@ func (req *JobRequest) validate(lim Limits) (*JobSpec, error) {
 	if err := spec.Space.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	size, ok := spec.Space.SizeWithin(lim.MaxGridPoints)
-	if !ok {
-		return nil, fmt.Errorf("serve: design grid exceeds the %d-point limit", lim.MaxGridPoints)
+	if req.Search != "" {
+		ss, err := dse.ParseSearchSpec(req.Search)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if ss.Mode == dse.SearchTarget && ss.TargetCPI == 0 {
+			ss.TargetCPI = req.TargetCPI // borrow the sweep-style budget field
+		}
+		if err := ss.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if ss.Mode == dse.SearchTarget && ss.TargetCPI == 0 {
+			return nil, fmt.Errorf("serve: a target search needs a cpi budget (search key cpi, or target_cpi)")
+		}
+		if ss.Mode != dse.SearchTarget && req.TargetCPI > 0 {
+			return nil, fmt.Errorf("serve: target_cpi with a %s search is meaningless; use mode %s", ss.Mode, dse.SearchTarget)
+		}
+		// A search probes lazily, so the grid may exceed MaxGridPoints —
+		// the plan itself still bounds the index space and validates the
+		// cost model against the axes.
+		if _, err := dse.NewSearchPlan(&spec.Space, ss); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		spec.Search = ss
+		spec.GridSize, _ = spec.Space.SizeSaturating()
+	} else {
+		size, ok := spec.Space.SizeWithin(lim.MaxGridPoints)
+		if !ok {
+			return nil, fmt.Errorf("serve: design grid exceeds the %d-point limit (a search mode lifts it)", lim.MaxGridPoints)
+		}
+		spec.GridSize = size
 	}
-	spec.GridSize = size
 
 	// Scalars with defaults and caps.
 	switch {
@@ -256,6 +298,8 @@ func (req *JobRequest) validate(lim Limits) (*JobSpec, error) {
 	case math.IsNaN(req.AuditFraction) || math.IsInf(req.AuditFraction, 0) ||
 		req.AuditFraction < 0 || req.AuditFraction > 1:
 		return nil, fmt.Errorf("serve: audit_fraction %g outside [0, 1]", req.AuditFraction)
+	case req.AuditFraction > 0 && req.Search != "":
+		return nil, fmt.Errorf("serve: search optima are verified online by an audit oracle; audit_fraction applies to exhaustive sweeps")
 	case req.AuditFraction > 0 && req.Workload == "":
 		return nil, fmt.Errorf("serve: the audit re-simulates ground truth and needs a named workload, not a trace upload")
 	case req.AuditFraction > 0 && spec.Engine == "sim":

@@ -402,6 +402,11 @@ func (s *Server) execute(ctx context.Context, job *Job) (*JobResult, error) {
 	if par == 0 {
 		par = s.cfg.SweepParallelism
 	}
+	if spec.Search != nil {
+		// Guided search: probes the space lazily — never materialize the
+		// grid, which may be far beyond MaxGridPoints for search jobs.
+		return s.executeSearch(ctx, job, tr, uops, art, digest, setupWall, cached, par)
+	}
 	points := spec.Space.Enumerate(s.cfg.BaseConfig.Lat)
 	opts := dse.ExploreOptions{
 		Parallelism: par,
@@ -419,7 +424,7 @@ func (s *Server) execute(ctx context.Context, job *Job) (*JobResult, error) {
 	if s.fleet != nil && s.fleetEligible && spec.Trace == nil {
 		// Distributed sweep: workers regenerate the engine inputs from the
 		// job recipe; uploaded traces have no recipe and stay local.
-		rep, err = s.fleetSweep(ctx, job, points, art, uops, setupWall)
+		rep, err = s.fleetSweep(ctx, job, points, art, uops, setupWall, false)
 	} else {
 		switch spec.Engine {
 		case "rpstacks":
@@ -448,6 +453,144 @@ func (s *Server) execute(ctx context.Context, job *Job) (*JobResult, error) {
 		}
 	}
 	return rankResults(spec, tr, digest, rep, setupWall, cached), nil
+}
+
+// executeSearch runs phase 3 of a guided-search job: the lazy probe loop
+// through the job's engine (or, when eligible, the sweep fleet — each probe
+// round becomes one distributed sweep over the round's points), online
+// verification of every returned optimum through an audit oracle, and the
+// rendering of the SearchResult into the job's result shape.
+func (s *Server) executeSearch(ctx context.Context, job *Job, tr *trace.Trace, uops []isa.MicroOp,
+	art *setupArtifacts, digest string, setupWall time.Duration, cached bool, par int) (*JobResult, error) {
+	spec := job.Spec
+	opts := dse.SearchOptions{
+		ExploreOptions: dse.ExploreOptions{
+			Parallelism: par,
+			BatchSize:   spec.BatchSize,
+			Context:     ctx,
+			Setup:       setupWall,
+			Tracer:      job.tracer,
+			TraceParent: job.root.ID(),
+		},
+		MicroOps: len(tr.Records),
+	}
+	// Online verification: a named workload re-simulates ground truth at
+	// each returned optimum — the same oracle recipe the shadow audit
+	// uses. An uploaded trace has no regeneration recipe, so the graph
+	// oracle re-derives the dependence-graph longest path instead (exact
+	// for graph-engine searches, a model cross-check for rpstacks).
+	if spec.Workload != "" {
+		gen, stream, cut, err := measuredRegion(spec)
+		if err != nil {
+			return nil, err
+		}
+		oracle := &audit.SimOracle{
+			Cfg:       s.cfg.BaseConfig,
+			CodeLines: gen.CodeLines(),
+			DataLines: gen.DataLines(),
+			Warm:      stream[:cut],
+			UOps:      stream[cut:],
+		}
+		opts.Verify = func(l stacks.Latencies) (float64, error) {
+			c, _, err := oracle.Truth(ctx, l)
+			return c, err
+		}
+	} else {
+		oracle := &audit.GraphOracle{Graph: art.graph}
+		opts.Verify = func(l stacks.Latencies) (float64, error) {
+			c, _, err := oracle.Truth(ctx, l)
+			return c, err
+		}
+	}
+	if s.fleet != nil && s.fleetEligible && spec.Trace == nil {
+		opts.RoundEval = func(rctx context.Context, pts []stacks.Latencies) ([]float64, error) {
+			rep, err := s.fleetSweep(rctx, job, pts, art, uops, 0, true)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float64, len(rep.Results))
+			for i, r := range rep.Results {
+				out[i] = r.Cycles
+			}
+			return out, nil
+		}
+	}
+	var res *dse.SearchResult
+	var err error
+	base := s.cfg.BaseConfig.Lat
+	switch spec.Engine {
+	case "rpstacks":
+		res, err = dse.SearchRpStacks(art.analysis, base, &spec.Space, spec.Search, opts)
+	case "graph":
+		res, err = dse.SearchGraph(art.graph, base, &spec.Space, spec.Search, opts)
+	case "sim":
+		res, err = dse.SearchSim(s.cfg.BaseConfig, uops, &spec.Space, spec.Search, opts)
+	default:
+		err = fmt.Errorf("serve: unknown engine %q", spec.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.observeSweep(spec.Engine, res.Wall,
+		fmt.Sprintf("job_id=%q,trace_digest=%q", job.ID, digest))
+	s.metrics.observeSearch(res)
+	return searchResults(spec, tr, digest, res, setupWall, cached, par), nil
+}
+
+// searchResults renders a finished guided search as the job result: the
+// verified optimum (halving, target) or the cycles-ascending Pareto
+// frontier as the point list, plus the probe-loop summary.
+func searchResults(spec *JobSpec, tr *trace.Trace, digest string, res *dse.SearchResult,
+	setup time.Duration, cached bool, par int) *JobResult {
+	uopsN := float64(len(tr.Records))
+	var sps []dse.SearchPoint
+	if res.Best != nil {
+		sps = append(sps, *res.Best)
+	}
+	sps = append(sps, res.Frontier...)
+	pts := make([]PointResult, len(sps))
+	for k, p := range sps {
+		lat := make(map[string]float64, len(spec.Space.Axes))
+		for _, ax := range spec.Space.Axes {
+			lat[ax.Event.String()] = p.Lat[ax.Event]
+		}
+		pts[k] = PointResult{
+			Latencies:    lat,
+			Cycles:       p.Cycles,
+			CPI:          p.Cycles / uopsN,
+			Cost:         p.Cost,
+			VerifyErrPct: p.VerifyErrPct,
+		}
+	}
+	meeting := 0
+	if res.Mode == dse.SearchTarget && res.Feasible {
+		meeting = 1
+	}
+	return &JobResult{
+		Engine:      spec.Engine,
+		TraceDigest: digest,
+		GridPoints:  int(res.GridPoints),
+		MicroOps:    len(tr.Records),
+		Meeting:     meeting,
+		SetupMS:     float64(setup) / float64(time.Millisecond),
+		SetupCached: cached,
+		SweepMS:     float64(res.Wall) / float64(time.Millisecond),
+		Workers:     par,
+		Points:      pts,
+		Search: &SearchSummary{
+			Mode:            res.Mode,
+			GridPoints:      int(res.GridPoints),
+			Probes:          res.Probes,
+			ResumedProbes:   res.ResumedProbes,
+			Rounds:          res.Rounds,
+			PeakBoxes:       res.PeakBoxes,
+			Converged:       res.Converged,
+			Feasible:        res.Feasible,
+			FrontierSize:    len(res.Frontier),
+			Verified:        res.Verified,
+			VerifyMaxErrPct: res.VerifyMaxErrPct,
+		},
+	}
 }
 
 // auditSweep runs the shadow audit of a finished sweep and publishes its
