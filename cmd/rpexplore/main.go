@@ -38,10 +38,11 @@
 // execution detail: results, fingerprints and checkpoints are identical at
 // every width.
 //
-// With -trace-out, the sweep's span flight recorder is exported as Chrome
+// With -trace-out, the run's span flight recorder is exported as Chrome
 // trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
-// chrome://tracing. -progress prints a periodic points/sec + ETA line to
-// stderr, including how many chunks were restored from a checkpoint.
+// chrome://tracing — one span per chunk for exhaustive sweeps, one per probe
+// round for guided searches. -progress prints a periodic points/sec + ETA
+// line to stderr, including how many chunks were restored from a checkpoint.
 //
 // With -audit-fraction, a shadow accuracy audit scores the sweep after it
 // finishes: a deterministic, fingerprint-seeded sample of design points is
@@ -192,10 +193,6 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rpexplore: -progress needs a fixed point count; a search probes lazily")
 			os.Exit(2)
 		}
-		if *traceOut != "" {
-			fmt.Fprintln(os.Stderr, "rpexplore: -trace-out is not yet wired for searches")
-			os.Exit(2)
-		}
 		sf.spec = spec
 	} else if *searchOut != "" || *searchSelfcheck {
 		fmt.Fprintln(os.Stderr, "rpexplore: -search-out and -search-selfcheck need -search")
@@ -244,7 +241,7 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 		return err
 	}
 	if sf.spec != nil {
-		return runSearch(&sp, sf, r, a, app, method, par, batch, checkpoint, au)
+		return runSearch(&sp, sf, r, a, app, method, par, batch, checkpoint, traceOut, au)
 	}
 	points := sp.Enumerate(r.Cfg.Lat)
 	opts := dse.ExploreOptions{Parallelism: par, ChunkSize: chunk, BatchSize: batch,
@@ -295,18 +292,9 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 		prog.Flush()
 	}
 	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return fmt.Errorf("creating trace file: %w", err)
+		if err := writeTrace(traceOut, opts.Tracer); err != nil {
+			return err
 		}
-		if err := obs.WriteChromeTrace(f, opts.Tracer.Snapshot()); err != nil {
-			f.Close()
-			return fmt.Errorf("writing trace: %w", err)
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("writing trace: %w", err)
-		}
-		fmt.Fprintf(os.Stderr, "trace: wrote %s\n", traceOut)
 	}
 	elapsed := rep.Wall
 	if rep.Resumed > 0 {
@@ -412,5 +400,23 @@ func runAudit(rep *dse.Report, r *experiments.Runner, a *experiments.App, method
 		}
 		fmt.Fprintf(os.Stderr, "audit: wrote %s\n", au.out)
 	}
+	return nil
+}
+
+// writeTrace exports the tracer's flight recorder as Chrome trace-event JSON
+// — shared by the exhaustive and search paths of -trace-out.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating trace file: %w", err)
+	}
+	if err := obs.WriteChromeTrace(f, tr.Snapshot()); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %s\n", path)
 	return nil
 }

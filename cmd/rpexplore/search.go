@@ -11,6 +11,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/dse"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/stacks"
 )
 
@@ -35,7 +36,7 @@ const selfcheckLimit = 1 << 20
 // and optionally writes it as JSON and differentially checks it against
 // the exhaustive answer.
 func runSearch(sp *dse.Space, sf searchFlags, r *experiments.Runner, a *experiments.App,
-	app, method string, par, batch int, checkpoint string, au auditFlags) error {
+	app, method string, par, batch int, checkpoint, traceOut string, au auditFlags) error {
 	opts := dse.SearchOptions{
 		ExploreOptions: dse.ExploreOptions{
 			Parallelism: par,
@@ -43,6 +44,12 @@ func runSearch(sp *dse.Space, sf searchFlags, r *experiments.Runner, a *experime
 			Setup:       a.SimTime + a.AnalyzeTime,
 		},
 		MicroOps: len(a.Trace.Records),
+	}
+	if traceOut != "" {
+		// A search's span count is probe-driven and unknown up front; the
+		// default flight-recorder ring keeps the most recent rounds, which is
+		// what a timeline of a converging search wants anyway.
+		opts.Tracer = obs.NewTracer(obs.DefaultCapacity)
 	}
 	if checkpoint != "" {
 		// The probe-log analogue of the sweep checkpoint: each probe round
@@ -94,6 +101,11 @@ func runSearch(sp *dse.Space, sf searchFlags, r *experiments.Runner, a *experime
 		return err
 	}
 	printSearch(res, sp, len(a.Trace.Records))
+	if traceOut != "" {
+		if err := writeTrace(traceOut, opts.Tracer); err != nil {
+			return err
+		}
+	}
 	if checkpoint != "" {
 		fmt.Fprintf(os.Stderr, "probe log: kept in %s (re-running this search replays it; delete to probe afresh)\n", checkpoint)
 	}

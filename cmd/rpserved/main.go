@@ -24,7 +24,9 @@
 //	GET  /metrics     Prometheus text exposition
 //	GET  /healthz     liveness and queue state
 //	GET  /readyz      readiness: 503 while draining or shedding, 200 otherwise
-//	GET  /debug/trace per-job flight-recorder trace (?job=<id>&format=chrome|folded)
+//	GET  /debug/trace per-job flight-recorder trace (?job=<id>&format=chrome|folded);
+//	                  fleet-delegated jobs serve the merged multi-process
+//	                  timeline — one skew-normalized track per worker
 //	GET  /debug/audit per-job shadow-audit accuracy report (?job=<id>)
 //
 // Jobs submitted with "audit_fraction" > 0 are shadow-audited after the
@@ -43,7 +45,9 @@
 // named-workload jobs under the baseline machine setup — to rpworker
 // processes sharing <store-dir>/fleet. Uploaded-trace jobs always sweep
 // locally. -fleet-lease-ttl and -fleet-chunk tune lease expiry and lease
-// granularity; the rpstacks_fleet_* metric families land on /metrics.
+// granularity; the rpstacks_fleet_* metric families — including the
+// federated per-worker rpstacks_fleet_worker_* summaries workers report on
+// completion — land on /metrics.
 package main
 
 import (

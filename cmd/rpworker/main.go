@@ -8,7 +8,7 @@
 //
 //	rpworker -coordinator http://host:8321 -store-dir /var/lib/rpserved \
 //	         [-concurrency 8] [-addr :8322] [-id worker-a] [-poll 200ms] \
-//	         [-pprof-addr localhost:6061]
+//	         [-pprof-addr localhost:6061] [-trace-out worker.trace.json]
 //
 // The worker proves sweep identity before evaluating anything: it recomputes
 // the sweep fingerprint from its rebuilt inputs and exits with an error if it
@@ -16,8 +16,17 @@
 //
 // With -addr set, GET /healthz and GET /readyz are served with rpserved's
 // semantics: /healthz always answers 200 (status ok or draining), /readyz
-// flips to 503 once draining. The first SIGINT/SIGTERM drains — the chunk in
-// flight finishes and is published — and a second one aborts hard.
+// flips to 503 once draining — and GET /metrics serves the worker's own
+// rpstacks_worker_* families in Prometheus exposition format. The first
+// SIGINT/SIGTERM drains — the chunk in flight finishes and is published —
+// and a second one aborts hard.
+//
+// The worker always traces itself: its lease/evaluate/publish spans are
+// published as clock-synced fragments beside the chunk blobs (the
+// coordinator merges them into the fleet timeline at
+// /debug/trace?job=<id>), and -trace-out additionally writes this process's
+// own span timeline as Chrome trace-event JSON on exit — the standalone
+// fragment dump for debugging one worker without a coordinator view.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -45,15 +55,16 @@ func main() {
 	id := flag.String("id", "", "worker identity reported to the coordinator (default <hostname>-<pid>)")
 	poll := flag.Duration("poll", 200*time.Millisecond, "idle re-poll interval when no chunk is grantable")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof runtime profiling (empty: off)")
+	traceOut := flag.String("trace-out", "", "write this worker's span timeline as Chrome trace-event JSON on exit (empty: off)")
 	flag.Parse()
 
-	if err := run(*coordinator, *storeDir, *concurrency, *addr, *id, *poll, *pprofAddr); err != nil {
+	if err := run(*coordinator, *storeDir, *concurrency, *addr, *id, *poll, *pprofAddr, *traceOut); err != nil {
 		fmt.Fprintf(os.Stderr, "rpworker: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(coordinator, storeDir string, concurrency int, addr, id string, poll time.Duration, pprofAddr string) error {
+func run(coordinator, storeDir string, concurrency int, addr, id string, poll time.Duration, pprofAddr, traceOut string) error {
 	if coordinator == "" {
 		return fmt.Errorf("-coordinator is required")
 	}
@@ -118,8 +129,27 @@ func run(coordinator, storeDir string, concurrency int, addr, id string, poll ti
 		slog.String("coordinator", coordinator),
 		slog.String("id", w.ID()),
 		slog.Int("concurrency", concurrency))
-	if err := w.Run(ctx); err != nil && err != context.Canceled {
-		return err
+	runErr := w.Run(ctx)
+	if traceOut != "" {
+		// One-track timeline named by the worker id — the same track shape
+		// this process contributes to the coordinator's merged view, without
+		// needing a coordinator to look at it.
+		tl := &obs.Timeline{Tracks: []obs.ProcessTrack{{Name: w.ID(), Records: w.Tracer().Snapshot()}}}
+		f, err := os.Create(traceOut)
+		if err == nil {
+			err = obs.WriteChromeTimeline(f, tl)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			logger.Warn("writing trace failed", slog.String("path", traceOut), slog.String("error", err.Error()))
+		} else {
+			logger.Info("trace written", slog.String("path", traceOut))
+		}
+	}
+	if runErr != nil && runErr != context.Canceled {
+		return runErr
 	}
 	logger.Info("worker exiting")
 	return nil

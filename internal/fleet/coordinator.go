@@ -61,7 +61,18 @@ type Coordinator struct {
 	leases   map[uint64]*lease
 	leaseSeq uint64
 	workers  map[string]time.Time // worker id -> last seen
+
+	// frags retains the decoded trace fragments of recently finished sweeps
+	// (FIFO-bounded at fragRetain), so the serving layer can build the merged
+	// timeline after Run returns. fragOrder is the eviction order.
+	frags     map[string][]*obs.Fragment
+	fragOrder []string
 }
+
+// fragRetain bounds how many finished sweeps' fragment sets the coordinator
+// keeps for merged-timeline queries — same spirit as the tracer ring: recent
+// history, never growth.
+const fragRetain = 8
 
 // sweepState is one registered sweep's mutable ledger; all fields are
 // guarded by Coordinator.mu except done/report/err, which are written once
@@ -83,6 +94,18 @@ type sweepState struct {
 
 	workerPoints map[string]int
 	workerBusy   map[string]time.Duration
+
+	// sweepSpan brackets the sweep's whole fleet lifetime — registration to
+	// assembled report — on the sweep's tracer; chunkSpans[i] brackets chunk
+	// i from its first grant to its accepted completion. Chunk spans are the
+	// cross-process trace parents: their IDs ride in lease responses, and
+	// worker-side spans nest under them in the merged timeline.
+	sweepSpan  obs.Span
+	chunkSpans []obs.Span
+	// pendingSince[i] is when chunk i last became grantable — registration,
+	// or the expiry of its last lease. The gap to the next grant is the
+	// lease-wait histogram's observation, on the injectable lease clock.
+	pendingSince []time.Time
 
 	done   chan struct{}
 	report *dse.Report
@@ -134,6 +157,7 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		sweeps:   make(map[string]*sweepState),
 		leases:   make(map[uint64]*lease),
 		workers:  make(map[string]time.Time),
+		frags:    make(map[string][]*obs.Fragment),
 	}
 	c.metrics = newCoordMetrics(cfg.Registry, c)
 	c.mux = http.NewServeMux()
@@ -238,6 +262,17 @@ func (c *Coordinator) buildState(id string, sw Sweep) *sweepState {
 	if sw.Explicit {
 		st.info.PointList = sw.Points
 	}
+	// The sweep span brackets the whole fleet lifetime of this sweep —
+	// registration through assembled report — so a merged timeline's
+	// coordinator track covers every moment any worker was active on it.
+	st.sweepSpan = sw.Tracer.StartChild(sw.TraceParent, obs.CatFleet, obs.NameSweep)
+	st.sweepSpan.SetDetail(shortID(id))
+	st.sweepSpan.SetArg(obs.ArgPoints, int64(n))
+	st.chunkSpans = make([]obs.Span, len(st.chunks))
+	st.pendingSince = make([]time.Time, len(st.chunks))
+	for i := range st.pendingSince {
+		st.pendingSince[i] = st.start
+	}
 	for i := range st.chunks {
 		ch := &st.chunks[i]
 		raw, ok := c.shared.Get(chunkKey(id, i))
@@ -254,7 +289,7 @@ func (c *Coordinator) buildState(id string, sw Sweep) *sweepState {
 		ch.done = true
 		st.remaining--
 		st.resumed += ch.hi - ch.lo
-		sp := sw.Tracer.StartChild(sw.TraceParent, obs.CatDSE, obs.NameResume)
+		sp := sw.Tracer.StartChild(st.sweepSpan.ID(), obs.CatDSE, obs.NameResume)
 		sp.SetArg(obs.ArgPoints, int64(ch.hi-ch.lo))
 		sp.End()
 	}
@@ -309,10 +344,17 @@ func (c *Coordinator) release(st *sweepState) {
 // — the same restore discipline as checkpoint resume: every blob is re-read,
 // checksum- and fingerprint-verified, and scattered by point index — then
 // publishes it and closes done. On success the blobs are deleted: the report
-// now owns the results. Called with mu held.
+// now owns the results. Trace fragments workers published beside the chunks
+// are collected the same way — decoded, verified, retained for the merged
+// timeline; damaged ones counted and dropped, never fatal. Called with mu
+// held.
 func (c *Coordinator) finishLocked(st *sweepState) {
 	sw := st.sw
-	sp := sw.Tracer.StartChild(sw.TraceParent, obs.CatFleet, obs.NameAssemble)
+	parent := st.sweepSpan.ID()
+	if parent == 0 {
+		parent = sw.TraceParent
+	}
+	sp := sw.Tracer.StartChild(parent, obs.CatFleet, obs.NameAssemble)
 	sp.SetDetail(shortID(st.id))
 	sp.SetArg("chunks", int64(len(st.chunks)))
 	start := time.Now()
@@ -338,6 +380,7 @@ func (c *Coordinator) finishLocked(st *sweepState) {
 		}
 	}
 	sp.End()
+	st.sweepSpan.End()
 	c.metrics.assembly.Observe(time.Since(start).Seconds())
 
 	if err != nil {
@@ -345,6 +388,7 @@ func (c *Coordinator) finishLocked(st *sweepState) {
 		close(st.done)
 		return
 	}
+	c.collectFragmentsLocked(st)
 	method, _ := methodName(sw.Spec.Engine)
 	rep := &dse.Report{
 		Method:      method,
@@ -379,6 +423,56 @@ func (c *Coordinator) finishLocked(st *sweepState) {
 		c.shared.Delete(chunkKey(st.id, i))
 	}
 	close(st.done)
+}
+
+// collectFragmentsLocked gathers the trace fragments workers published
+// beside the sweep's chunk blobs: one deterministic key per chunk (the
+// shared root's hashed keys cannot be enumerated), decoded and
+// fingerprint-verified like everything else in the protocol. A damaged or
+// foreign blob increments the dropped counter and is discarded — a fragment
+// is observability, never correctness. Survivors are retained (FIFO-bounded)
+// for merged-timeline queries; the store copies are deleted either way, the
+// sweep is over. Called with mu held.
+func (c *Coordinator) collectFragmentsLocked(st *sweepState) {
+	var frags []*obs.Fragment
+	for i := range st.chunks {
+		key := fragKey(st.id, i)
+		raw, ok := c.shared.Get(key)
+		if !ok {
+			continue
+		}
+		frag, err := obs.DecodeFragment(st.sw.Fingerprint, raw)
+		if err != nil {
+			c.metrics.fragDropped.Inc()
+			c.logger.Warn("fleet: trace fragment dropped",
+				slog.String("sweep", shortID(st.id)),
+				slog.Int("chunk", i),
+				slog.Any("err", err))
+		} else {
+			frags = append(frags, frag)
+		}
+		c.shared.Delete(key)
+	}
+	if frags == nil {
+		return
+	}
+	if _, seen := c.frags[st.id]; !seen {
+		c.fragOrder = append(c.fragOrder, st.id)
+		for len(c.fragOrder) > fragRetain {
+			delete(c.frags, c.fragOrder[0])
+			c.fragOrder = c.fragOrder[1:]
+		}
+	}
+	c.frags[st.id] = frags
+}
+
+// TraceFragments returns the trace fragments retained from a recently
+// finished sweep (nil if none, unknown, or evicted). The serving layer
+// merges them with its own records into the fleet timeline.
+func (c *Coordinator) TraceFragments(sweepID string) []*obs.Fragment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*obs.Fragment(nil), c.frags[sweepID]...)
 }
 
 // verifyChunkRange checks a decoded blob covers exactly [lo, hi) in order —
@@ -416,6 +510,10 @@ func (c *Coordinator) expireLocked(now time.Time) {
 					ch.leases = append(ch.leases[:i], ch.leases[i+1:]...)
 					break
 				}
+			}
+			if len(ch.leases) == 0 && !ch.done {
+				// The chunk is grantable again; its lease wait restarts here.
+				st.pendingSince[l.chunk] = now
 			}
 		}
 		c.logger.Warn("fleet: lease expired",
@@ -509,18 +607,38 @@ func (c *Coordinator) grantChunkLocked(st *sweepState, ci int, worker string, no
 		granted: now,
 		expires: now.Add(c.ttl),
 	}
+	if !stolen {
+		// This grant ends the chunk's published-but-unleased wait: from
+		// registration (or its last lease's expiry) to now, on the lease
+		// clock. Steals don't count — the chunk was in flight the whole time.
+		if wait := now.Sub(st.pendingSince[ci]); wait >= 0 {
+			c.metrics.leaseWait.Observe(wait.Seconds())
+		}
+	}
+	if st.chunkSpans[ci].ID() == 0 {
+		// First grant opens the coordinator-side chunk span — the trace
+		// parent every worker span of this chunk nests under. It stays open
+		// across re-leases and steals until the accepted completion.
+		sp := st.sw.Tracer.StartChild(st.sweepSpan.ID(), obs.CatFleet, obs.NameChunk)
+		sp.SetDetail(fmt.Sprintf("chunk %d", ci))
+		sp.SetArg(obs.ArgPoints, int64(ch.hi-ch.lo))
+		st.chunkSpans[ci] = sp
+	}
 	ch.leases = append(ch.leases, l)
 	c.leases[l.id] = l
 	c.metrics.leased.Inc()
 	return leaseResponse{
-		Status:    "lease",
-		SweepID:   st.id,
-		Lease:     l.id,
-		Chunk:     ci,
-		Lo:        ch.lo,
-		Hi:        ch.hi,
-		TTLMillis: c.ttl.Milliseconds(),
-		Stolen:    stolen,
+		Status:          "lease",
+		SweepID:         st.id,
+		Lease:           l.id,
+		Chunk:           ci,
+		Lo:              ch.lo,
+		Hi:              ch.hi,
+		TTLMillis:       c.ttl.Milliseconds(),
+		Stolen:          stolen,
+		TraceID:         st.id,
+		TraceParent:     st.chunkSpans[ci].ID(),
+		CoordClockNanos: st.sw.Tracer.Now().Nanoseconds(),
 	}
 }
 
@@ -537,6 +655,22 @@ func (c *Coordinator) liveWorkers() int {
 		}
 	}
 	return n
+}
+
+// liveWorkerNames lists the live workers sorted by id — the per-worker
+// liveness gauge's label set.
+func (c *Coordinator) liveWorkerNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	var names []string
+	for wk, seen := range c.workers {
+		if now.Sub(seen) <= 2*c.ttl {
+			names = append(names, wk)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 func (c *Coordinator) activeSweeps() int {
@@ -661,6 +795,15 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ch := &st.chunks[req.Chunk]
+	// Federate the worker's self-reported summary whether or not this
+	// completion wins: a duplicate finisher of a stolen chunk did real work,
+	// and the per-worker families describe throughput, not attribution.
+	if req.Worker != "" {
+		c.metrics.workerChunks.With(req.Worker).Inc()
+		c.metrics.workerPoints.With(req.Worker).Add(float64(req.Points))
+		c.metrics.workerEval.With(req.Worker).Add(req.EvalSeconds)
+		c.metrics.workerPublish.With(req.Worker).Add(req.PublishSeconds)
+	}
 	if ch.done {
 		// First-writer-wins: a second completion of a stolen (or re-leased)
 		// chunk is an idempotent acknowledgment, never an error.
@@ -696,6 +839,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		st.workerPoints[req.Worker] += ch.hi - ch.lo
 	}
 	ch.done = true
+	st.chunkSpans[req.Chunk].End()
 	for _, l := range ch.leases {
 		delete(c.leases, l.id)
 	}

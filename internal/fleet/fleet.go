@@ -118,6 +118,16 @@ func chunkKey(sweepID string, chunk int) string {
 	return fmt.Sprintf("fleet|%s|chunk-%06d", sweepID, chunk)
 }
 
+// fragKey addresses one chunk's trace-fragment blob (obs.EncodeFragment)
+// beside its result blob. Shared-store keys are hashed to paths and not
+// enumerable, so the key must be derivable from (sweep, chunk) alone — the
+// coordinator's assembly walks the chunk indices to find every fragment. A
+// stolen chunk may be published twice by different workers; last writer wins,
+// which loses at most one redundant fragment, never result data.
+func fragKey(sweepID string, chunk int) string {
+	return fmt.Sprintf("fleet|%s|frag-%06d", sweepID, chunk)
+}
+
 // Sweep is one distributed exploration the coordinator runs.
 type Sweep struct {
 	// Spec is the recipe workers rebuild the engine inputs from.
@@ -183,6 +193,21 @@ type leaseResponse struct {
 	// Stolen marks a lease granted on a chunk another worker still holds —
 	// straggler insurance; whichever completion arrives first wins.
 	Stolen bool `json:"stolen,omitempty"`
+
+	// TraceID and TraceParent propagate the sweep's trace context: TraceID is
+	// the sweep id doubling as the trace identity, TraceParent the
+	// coordinator's span ID for this chunk — the parent every worker-side
+	// lease/evaluate/publish span nests under, so the merged timeline keeps
+	// cross-process causality. Zero TraceParent means the coordinator is not
+	// tracing this sweep and the worker publishes no fragment.
+	TraceID     string `json:"trace_id,omitempty"`
+	TraceParent uint64 `json:"trace_parent,omitempty"`
+	// CoordClockNanos is the coordinator tracer's clock at grant time, in
+	// nanoseconds. The worker brackets the lease round-trip with its own
+	// tracer clock (T0, T1) and pairs them with this stamp into an
+	// obs.ClockSync — the skew model the merge normalizes worker tracks with.
+	// Zero means no coordinator clock was available (tracing off).
+	CoordClockNanos int64 `json:"coord_clock_ns,omitempty"`
 }
 
 // heartbeatRequest renews a lease; expired or unknown leases answer 410.
@@ -206,6 +231,14 @@ type completeRequest struct {
 	Lease   uint64 `json:"lease,omitempty"`
 	SweepID string `json:"sweep_id"`
 	Chunk   int    `json:"chunk"`
+
+	// Per-chunk work summary, federated into the coordinator's
+	// rpstacks_fleet_worker_* families so one scrape of the coordinator
+	// describes every worker's throughput without scraping each worker.
+	// Self-reported and advisory: it feeds metrics only, never results.
+	Points         int     `json:"points,omitempty"`
+	EvalSeconds    float64 `json:"eval_seconds,omitempty"`
+	PublishSeconds float64 `json:"publish_seconds,omitempty"`
 }
 
 type completeResponse struct {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/prom"
 	"repro/internal/stacks"
 	"repro/internal/store"
 )
@@ -43,7 +44,12 @@ type WorkerConfig struct {
 	PollInterval time.Duration
 	// Logger receives lease-lifecycle logs. Nil discards.
 	Logger *slog.Logger
-	// Tracer, when non-nil, records lease/evaluate/publish spans.
+	// Tracer, when non-nil, records lease/evaluate/publish spans on the
+	// caller's tracer. When nil the worker builds its own: span IDs
+	// namespaced by the worker ID (obs.WithProcessID) and every completed
+	// span captured for the trace fragments it publishes beside chunk
+	// results. A caller-owned tracer disables fragment publication — the
+	// caller owns the records' destination.
 	Tracer *obs.Tracer
 
 	// onEvaluated, when non-nil, runs after a chunk is evaluated and before
@@ -65,6 +71,12 @@ type Worker struct {
 	poll   time.Duration
 	logger *slog.Logger
 	tracer *obs.Tracer
+	// collector captures every completed span of the worker-owned tracer so
+	// handleLease can publish them as trace fragments; nil when the tracer is
+	// caller-owned.
+	collector *spanCollector
+	reg       *prom.Registry
+	wm        *workerMetrics
 
 	onEvaluated func(string, int) error
 
@@ -119,7 +131,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Worker{
+	w := &Worker{
 		url:         cfg.CoordinatorURL,
 		shared:      cfg.Shared,
 		conc:        cfg.Concurrency,
@@ -128,9 +140,67 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		poll:        cfg.PollInterval,
 		logger:      cfg.Logger,
 		tracer:      cfg.Tracer,
+		reg:         prom.NewRegistry(),
 		onEvaluated: cfg.onEvaluated,
 		sweeps:      make(map[string]*workerSweep),
 		runners:     make(map[string]*experiments.Runner),
+	}
+	if w.tracer == nil {
+		w.collector = &spanCollector{}
+		w.tracer = obs.NewTracer(obs.DefaultCapacity,
+			obs.WithProcessID(w.id),
+			obs.WithOnEnd(w.collector.observe))
+	}
+	w.wm = newWorkerMetrics(w.reg)
+	return w
+}
+
+// Tracer exposes the worker's tracer — rpworker's -trace-out snapshots it.
+func (w *Worker) Tracer() *obs.Tracer { return w.tracer }
+
+// spanCollector accumulates completed span records between fragment
+// publications. It sits on the tracer's OnEnd hook, so unlike the tracer
+// ring it never drops a record — handleLease drains it once per chunk, which
+// bounds it at one chunk's span count.
+type spanCollector struct {
+	mu   sync.Mutex
+	recs []obs.Record
+}
+
+func (c *spanCollector) observe(r obs.Record) {
+	c.mu.Lock()
+	c.recs = append(c.recs, r)
+	c.mu.Unlock()
+}
+
+func (c *spanCollector) drain() []obs.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.recs
+	c.recs = nil
+	return out
+}
+
+// workerMetrics are the worker process's own rpstacks_worker_* families,
+// served on its health listener at /metrics — the per-process view the
+// coordinator's federated rpstacks_fleet_worker_* summaries approximate.
+type workerMetrics struct {
+	chunks  *prom.Counter
+	points  *prom.Counter
+	eval    *prom.Counter
+	publish *prom.Counter
+}
+
+func newWorkerMetrics(reg *prom.Registry) *workerMetrics {
+	return &workerMetrics{
+		chunks: reg.Counter("rpstacks_worker_chunks_total",
+			"Chunks this worker evaluated and published."),
+		points: reg.Counter("rpstacks_worker_points_total",
+			"Design points this worker evaluated."),
+		eval: reg.Counter("rpstacks_worker_evaluate_seconds_total",
+			"Wall-clock this worker spent evaluating chunks."),
+		publish: reg.Counter("rpstacks_worker_publish_seconds_total",
+			"Wall-clock this worker spent publishing result blobs."),
 	}
 }
 
@@ -158,7 +228,15 @@ func (w *Worker) Run(ctx context.Context) error {
 			return nil
 		}
 		var grant leaseResponse
+		// Bracket the lease round-trip on the worker tracer's clock: paired
+		// with the coordinator clock stamped into the grant, (t0, t1, coord)
+		// is one NTP-style obs.ClockSync — the coordinator produced its stamp
+		// somewhere inside [t0, t1], so the midpoint bounds the skew by half
+		// the round-trip. The freshest sync rides in this chunk's fragment
+		// and normalizes this worker's track in the merged timeline.
+		t0 := w.tracer.Now()
 		status, err := w.postJSON(ctx, "/fleet/v1/lease", leaseRequest{Worker: w.id}, &grant)
+		t1 := w.tracer.Now()
 		if err != nil || status != http.StatusOK {
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -179,7 +257,13 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			continue
 		}
-		if err := w.handleLease(ctx, grant); err != nil {
+		var csync obs.ClockSync
+		hasSync := false
+		if grant.CoordClockNanos != 0 {
+			csync = obs.ClockSync{T0: t0, T1: t1, Coord: time.Duration(grant.CoordClockNanos)}
+			hasSync = true
+		}
+		if err := w.handleLease(ctx, grant, csync, hasSync); err != nil {
 			return err
 		}
 	}
@@ -187,9 +271,11 @@ func (w *Worker) Run(ctx context.Context) error {
 
 // handleLease evaluates and publishes one granted chunk. Soft faults (sweep
 // vanished, publish raced, coordinator restarting) log and return nil; hard
-// faults return the error and kill Run.
-func (w *Worker) handleLease(ctx context.Context, grant leaseResponse) error {
-	sp := w.tracer.StartChild(0, obs.CatFleet, obs.NameLease)
+// faults return the error and kill Run. The grant's trace context parents
+// every span recorded here under the coordinator's chunk span; csync is the
+// lease round-trip's clock correspondence, shipped in the chunk's fragment.
+func (w *Worker) handleLease(ctx context.Context, grant leaseResponse, csync obs.ClockSync, hasSync bool) error {
+	sp := w.tracer.StartChild(grant.TraceParent, obs.CatFleet, obs.NameLease)
 	sp.SetDetail(shortID(grant.SweepID))
 	sp.SetArg("chunk", int64(grant.Chunk))
 	sp.End()
@@ -246,14 +332,18 @@ func (w *Worker) handleLease(ctx context.Context, grant leaseResponse) error {
 	}
 
 	pts := ws.points[grant.Lo:grant.Hi]
-	esp := w.tracer.StartChild(0, obs.CatFleet, obs.NameEvaluate)
+	esp := w.tracer.StartChild(grant.TraceParent, obs.CatFleet, obs.NameEvaluate)
 	esp.SetDetail(fmt.Sprintf("%s chunk %d", shortID(grant.SweepID), grant.Chunk))
 	esp.SetArg(obs.ArgPoints, int64(len(pts)))
+	evalStart := time.Now()
 	rep, err := ws.run(pts, dse.ExploreOptions{
 		Parallelism: w.conc,
 		BatchSize:   ws.batch,
 		Context:     ctx,
+		Tracer:      w.tracer,
+		TraceParent: esp.ID(),
 	})
+	evalDur := time.Since(evalStart)
 	esp.End()
 	if err != nil {
 		if ctx.Err() != nil {
@@ -280,9 +370,11 @@ func (w *Worker) handleLease(ctx context.Context, grant leaseResponse) error {
 	if err != nil {
 		return fmt.Errorf("fleet: encoding chunk %d: %w", grant.Chunk, err)
 	}
-	psp := w.tracer.StartChild(0, obs.CatFleet, obs.NamePublish)
+	psp := w.tracer.StartChild(grant.TraceParent, obs.CatFleet, obs.NamePublish)
 	psp.SetDetail(fmt.Sprintf("%s chunk %d", shortID(grant.SweepID), grant.Chunk))
+	pubStart := time.Now()
 	dup, perr := w.shared.Put(chunkKey(grant.SweepID, grant.Chunk), blob)
+	pubDur := time.Since(pubStart)
 	psp.End()
 	if perr != nil {
 		// The blob never landed; say nothing, let the lease expire and the
@@ -292,13 +384,37 @@ func (w *Worker) handleLease(ctx context.Context, grant leaseResponse) error {
 		sleepCtx(ctx, w.poll)
 		return nil
 	}
+	w.wm.chunks.Inc()
+	w.wm.points.Add(float64(len(pts)))
+	w.wm.eval.Add(evalDur.Seconds())
+	w.wm.publish.Add(pubDur.Seconds())
+
+	// Publish this chunk's trace fragment beside its result blob — before
+	// the completion call, so even a worker killed right after complete (or
+	// a coordinator that crashes and resumes) finds the fragment in the
+	// store. Only when the coordinator traces this sweep (TraceParent set)
+	// and the worker owns its tracer; failure costs the timeline a track,
+	// never the sweep a result.
+	if grant.TraceParent != 0 && w.collector != nil {
+		frag := &obs.Fragment{Process: w.id, Records: w.collector.drain(), Sync: csync, HasSync: hasSync}
+		if fraw, ferr := obs.EncodeFragment(ws.fp, frag); ferr != nil {
+			w.logger.Warn("fleet: encoding trace fragment failed", slog.Int("chunk", grant.Chunk), slog.Any("err", ferr))
+		} else if _, ferr := w.shared.Put(fragKey(grant.SweepID, grant.Chunk), fraw); ferr != nil {
+			w.logger.Warn("fleet: publishing trace fragment failed", slog.Int("chunk", grant.Chunk), slog.Any("err", ferr))
+		}
+	} else if w.collector != nil {
+		w.collector.drain() // untraced sweep: discard, keep the collector bounded
+	}
 
 	var cresp completeResponse
 	status, err := w.postJSON(ctx, "/fleet/v1/complete", completeRequest{
-		Worker:  w.id,
-		Lease:   grant.Lease,
-		SweepID: grant.SweepID,
-		Chunk:   grant.Chunk,
+		Worker:         w.id,
+		Lease:          grant.Lease,
+		SweepID:        grant.SweepID,
+		Chunk:          grant.Chunk,
+		Points:         len(pts),
+		EvalSeconds:    evalDur.Seconds(),
+		PublishSeconds: pubDur.Seconds(),
 	}, &cresp)
 	switch {
 	case err != nil:
@@ -474,10 +590,12 @@ func (w *Worker) postJSON(ctx context.Context, path string, reqBody, out any) (i
 	return resp.StatusCode, nil
 }
 
-// Handler serves the worker's liveness endpoints, mirroring rpserved's
-// semantics: GET /healthz is always 200 and reports ok or draining; GET
-// /readyz flips to 503 the moment the worker drains, so a local balancer or
-// smoke harness can watch the transition.
+// Handler serves the worker's liveness and metrics endpoints, mirroring
+// rpserved's semantics: GET /healthz is always 200 and reports ok or
+// draining; GET /readyz flips to 503 the moment the worker drains, so a
+// local balancer or smoke harness can watch the transition; GET /metrics is
+// the worker's own rpstacks_worker_* registry in Prometheus exposition
+// format.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
@@ -493,6 +611,10 @@ func (w *Worker) Handler() http.Handler {
 			return
 		}
 		fleetJSON(rw, http.StatusOK, map[string]string{"status": "ready", "worker": w.id})
+	})
+	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.reg.WriteText(rw)
 	})
 	return mux
 }

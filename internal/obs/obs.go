@@ -22,6 +22,7 @@
 package obs
 
 import (
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,11 @@ type Tracer struct {
 	clock func() time.Duration
 	onEnd func(Record)
 	ids   atomic.Uint64
+	// idBase is OR-ed into every span ID: zero by default (IDs are 1, 2,
+	// 3, ...), a process-identity hash shifted into the high 32 bits under
+	// WithProcessID — what keeps IDs from colliding when span records of
+	// several processes are merged into one timeline.
+	idBase uint64
 
 	mu    sync.Mutex
 	ring  []Record
@@ -73,6 +79,26 @@ func WithClock(clock func() time.Duration) Option {
 // metrics histograms hang off this hook.
 func WithOnEnd(fn func(Record)) Option {
 	return func(t *Tracer) { t.onEnd = fn }
+}
+
+// WithProcessID namespaces the tracer's span IDs by a process identity (a
+// fleet worker ID, a hostname-pid pair): a 32-bit hash of id occupies the
+// high half of every span ID, the low half stays the per-tracer counter.
+// Tracers of distinct processes then never emit colliding IDs, so span
+// records from many processes merge into one timeline without misparenting.
+// The default (no option) keeps the high half zero — plain 1, 2, 3, ... IDs
+// — which is also a namespace of its own: the merge convention reserves it
+// for the process that assembles the timeline.
+func WithProcessID(id string) Option {
+	return func(t *Tracer) {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(id))
+		base := h.Sum64() & 0xFFFFFFFF
+		if base == 0 {
+			base = 1 // never the reserved coordinator namespace
+		}
+		t.idBase = base << 32
+	}
 }
 
 // DefaultCapacity is the ring size NewTracer uses for non-positive
@@ -98,6 +124,16 @@ func NewTracer(capacity int, opts ...Option) *Tracer {
 
 // Enabled reports whether spans will be recorded.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now reads the tracer's monotonic clock — the timebase every recorded
+// Start/Dur is expressed in. Cross-process clock synchronization samples it
+// around protocol round-trips. Nil-safe: a disabled tracer reads zero.
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
 
 // Span is an in-flight operation. It is a plain value — start one with
 // Tracer.Start/StartChild, decorate it with the Set* methods, finish it with
@@ -127,7 +163,7 @@ func (t *Tracer) StartChild(parent uint64, cat, name string) Span {
 	}
 	return Span{
 		t:      t,
-		id:     t.ids.Add(1),
+		id:     t.idBase | t.ids.Add(1),
 		parent: parent,
 		cat:    cat,
 		name:   name,

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -60,7 +61,7 @@ func (s *Server) fleetSweep(ctx context.Context, job *Job, points []stacks.Laten
 	if err != nil {
 		return nil, err
 	}
-	return s.fleet.Run(ctx, fleet.Sweep{
+	rep, err := s.fleet.Run(ctx, fleet.Sweep{
 		Spec: fleet.SweepSpec{
 			Workload:  spec.Workload,
 			Seed:      spec.Seed,
@@ -77,4 +78,13 @@ func (s *Server) fleetSweep(ctx context.Context, job *Job, points []stacks.Laten
 		Tracer:      job.tracer,
 		TraceParent: job.root.ID(),
 	})
+	if err != nil {
+		return nil, err
+	}
+	// Pull the worker trace fragments the coordinator retained for this sweep
+	// onto the job: GET /debug/trace then serves the merged fleet timeline. A
+	// search job accumulates one batch per probe round (each round is its own
+	// sweep fingerprint).
+	job.addFleetFragments(s.fleet.TraceFragments(hex.EncodeToString(fp)))
+	return rep, nil
 }

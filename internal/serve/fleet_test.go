@@ -2,9 +2,11 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -15,11 +17,13 @@ import (
 )
 
 // startServeWorkers runs n in-process fleet workers against the server's
-// /fleet/v1/ mount and stops them when the test ends.
-func startServeWorkers(t *testing.T, url string, shared *store.Shared, n int) {
+// /fleet/v1/ mount and stops them when the test ends. The workers are
+// returned so tests can scrape their own /metrics handlers.
+func startServeWorkers(t *testing.T, url string, shared *store.Shared, n int) []*fleet.Worker {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
+	ws := make([]*fleet.Worker, n)
 	for i := 0; i < n; i++ {
 		w := fleet.NewWorker(fleet.WorkerConfig{
 			CoordinatorURL: url,
@@ -28,12 +32,36 @@ func startServeWorkers(t *testing.T, url string, shared *store.Shared, n int) {
 			ID:             fmt.Sprintf("serve-w%d", i),
 			PollInterval:   2 * time.Millisecond,
 		})
+		ws[i] = w
 		go func() {
 			if err := w.Run(ctx); err != nil && err != context.Canceled {
 				t.Errorf("worker: %v", err)
 			}
 		}()
 	}
+	return ws
+}
+
+// metricSum adds every sample of one family across its label sets — chunk
+// attribution between workers is racy, but the fleet-wide total is not.
+func metricSum(exposition, name string) float64 {
+	var sum float64
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := strings.TrimPrefix(line, name)
+		if i := strings.Index(rest, "} "); i >= 0 {
+			rest = rest[i+2:]
+		} else if !strings.HasPrefix(rest, " ") {
+			continue // a longer family name sharing the prefix
+		}
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(rest), "%g", &v); err == nil {
+			sum += v
+		}
+	}
+	return sum
 }
 
 // TestServerFleetDelegation is the serve-layer fleet integration test: a
@@ -57,7 +85,7 @@ func TestServerFleetDelegation(t *testing.T) {
 	})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
-	startServeWorkers(t, ts.URL, shared, 2)
+	workers := startServeWorkers(t, ts.URL, shared, 2)
 
 	v, code := submitJob(t, ts.URL, testBody(""))
 	if code != http.StatusAccepted {
@@ -98,6 +126,73 @@ func TestServerFleetDelegation(t *testing.T) {
 	}
 	if v := metricValue(t, exp, `rpstacks_sweep_duration_seconds_count{engine="rpstacks"}`); v != 1 {
 		t.Errorf("sweeps observed = %g, want 1 (fleet sweeps feed the same histogram)", v)
+	}
+	// Federation: the per-worker summaries workers self-report on complete.
+	// These are throughput counters — a stolen chunk both workers evaluate
+	// counts twice — so the fleet-wide totals are at least the sweep's size.
+	if got := metricSum(exp, "rpstacks_fleet_worker_chunks_total"); got < 4 {
+		t.Errorf("federated worker chunk total = %g, want >= 4", got)
+	}
+	if got := metricSum(exp, "rpstacks_fleet_worker_points_total"); got < 12 {
+		t.Errorf("federated worker point total = %g, want >= 12", got)
+	}
+
+	// The delegated job's /debug/trace is the merged multi-process timeline:
+	// the server's own track plus one per worker that completed a chunk.
+	resp, err = http.Get(ts.URL + "/debug/trace?job=" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody := readAll(t, resp)
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(traceBody), &trace); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	procs := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procs[fmt.Sprint(ev.Args["name"])] = true
+		}
+	}
+	if !procs["rpserved"] {
+		t.Errorf("merged trace lacks the rpserved track: %v", procs)
+	}
+	workerTracks := 0
+	for n := range procs {
+		if strings.HasPrefix(n, "serve-w") {
+			workerTracks++
+		}
+	}
+	if workerTracks == 0 {
+		t.Errorf("merged trace has no worker tracks: %v", procs)
+	}
+
+	// Each worker exposes its own /metrics on the health handler; together
+	// they account for at least every chunk and point of the sweep (stolen
+	// chunks may be evaluated — and counted — twice).
+	var wChunks, wPoints float64
+	for _, w := range workers {
+		wts := httptest.NewServer(w.Handler())
+		wresp, err := http.Get(wts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wexp := readAll(t, wresp)
+		wts.Close()
+		if !strings.Contains(wexp, "# TYPE rpstacks_worker_chunks_total counter") {
+			t.Errorf("worker exposition lacks rpstacks_worker_chunks_total TYPE line")
+		}
+		wChunks += metricSum(wexp, "rpstacks_worker_chunks_total")
+		wPoints += metricSum(wexp, "rpstacks_worker_points_total")
+	}
+	if wChunks < 4 || wPoints < 12 {
+		t.Errorf("worker-side totals = %g chunks / %g points, want >= 4 / >= 12", wChunks, wPoints)
 	}
 
 	// An uploaded trace has no (workload, seed, µops) recipe a worker could

@@ -48,11 +48,35 @@ type Job struct {
 	// the job did not request an audit.
 	audit       *audit.Report
 	auditStatus string
+	// fleetFrags are the worker trace fragments of a fleet-delegated job,
+	// collected from the coordinator after each fleet sweep (a search job
+	// accumulates one batch per probe round). Non-empty fleetFrags switch
+	// GET /debug/trace to the merged multi-process timeline.
+	fleetFrags []*obs.Fragment
 }
 
 // Trace snapshots the job's flight recorder, oldest span first (nil when the
 // job was accepted without tracing).
 func (j *Job) Trace() []obs.Record { return j.tracer.Snapshot() }
+
+// addFleetFragments appends worker trace fragments from one fleet sweep;
+// search jobs call this once per probe round.
+func (j *Job) addFleetFragments(frags []*obs.Fragment) {
+	if len(frags) == 0 {
+		return
+	}
+	j.mu.Lock()
+	j.fleetFrags = append(j.fleetFrags, frags...)
+	j.mu.Unlock()
+}
+
+// FleetFragments returns the job's collected worker trace fragments (nil for
+// locally-run jobs).
+func (j *Job) FleetFragments() []*obs.Fragment {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]*obs.Fragment(nil), j.fleetFrags...)
+}
 
 // PointResult is one ranked design point: the explored axis latencies and
 // the predicted cost.

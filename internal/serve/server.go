@@ -965,7 +965,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // handleTrace serves a job's flight recorder: Chrome trace-event JSON by
 // default (Perfetto / chrome://tracing loadable), collapsed flamegraph
-// stacks with ?format=folded.
+// stacks with ?format=folded. A fleet-delegated job whose worker trace
+// fragments were collected serves the *merged* multi-process timeline —
+// the server's own track plus one skew-normalized track per worker — in
+// both formats; locally-run jobs serve the single-process view as always.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("job")
 	job, ok := s.lookup(id)
@@ -978,12 +981,20 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		errJSON(w, http.StatusNotFound, "job %s has no trace (tracing disabled)", id)
 		return
 	}
+	frags := job.FleetFragments()
 	switch r.URL.Query().Get("format") {
 	case "", "chrome":
 		w.Header().Set("Content-Type", "application/json")
-		_ = obs.WriteChromeTrace(w, recs)
+		if len(frags) > 0 {
+			_ = obs.WriteChromeTimeline(w, obs.MergeTimeline("rpserved", recs, frags))
+		} else {
+			_ = obs.WriteChromeTrace(w, recs)
+		}
 	case "folded":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if len(frags) > 0 {
+			recs = obs.MergeTimeline("rpserved", recs, frags).Flatten()
+		}
 		_ = obs.WriteFolded(w, recs)
 	default:
 		errJSON(w, http.StatusBadRequest, "unknown trace format %q (want chrome or folded)", r.URL.Query().Get("format"))
