@@ -42,7 +42,10 @@
 // trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
 // chrome://tracing — one span per chunk for exhaustive sweeps, one per probe
 // round for guided searches. -progress prints a periodic points/sec + ETA
-// line to stderr, including how many chunks were restored from a checkpoint.
+// line to stderr, including how many chunks were restored from a checkpoint;
+// -progress-json emits the same meter as NDJSON events in the journal stream
+// schema (the frames rpserved serves over SSE), ending with a terminal done
+// event, so scripts parse one format wherever the sweep ran.
 //
 // With -audit-fraction, a shadow accuracy audit scores the sweep after it
 // finishes: a deterministic, fingerprint-seeded sample of design points is
@@ -71,6 +74,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/stacks"
 )
 
@@ -108,6 +112,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "directory for crash-safe sweep resume (empty: off)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the sweep to this file (empty: off)")
 	progress := flag.Bool("progress", false, "print a periodic progress line to stderr")
+	progressJSON := flag.Bool("progress-json", false, "emit progress as NDJSON events to stderr (the journal stream schema rpserved serves over SSE) instead of the human line")
 	lossless := flag.Bool("lossless", false, "disable RpStacks merging and segmentation: predictions become exactly the graph model (exponential worst case; keep -n tiny)")
 	search := flag.String("search", "", "guided search instead of an exhaustive sweep: halving|pareto|target with ;cpi= ;rounds= ;cost=EV:W,... keys; probes lazily, so the axes may span grids far too large to materialize")
 	searchOut := flag.String("search-out", "", "write the search result JSON to this file (empty: off)")
@@ -189,8 +194,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rpexplore: search optima are verified online through -audit-oracle; -audit-fraction applies to exhaustive sweeps")
 			os.Exit(2)
 		}
-		if *progress {
-			fmt.Fprintln(os.Stderr, "rpexplore: -progress needs a fixed point count; a search probes lazily")
+		if *progress || *progressJSON {
+			fmt.Fprintln(os.Stderr, "rpexplore: -progress and -progress-json need a fixed point count; a search probes lazily")
 			os.Exit(2)
 		}
 		sf.spec = spec
@@ -198,7 +203,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rpexplore: -search-out and -search-selfcheck need -search")
 		os.Exit(2)
 	}
-	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk, *batch, *checkpoint, *traceOut, *progress, *lossless, au, sf); err != nil {
+	if *progress && *progressJSON {
+		fmt.Fprintln(os.Stderr, "rpexplore: -progress and -progress-json are mutually exclusive")
+		os.Exit(2)
+	}
+	if err := run(*app, axes, *method, *target, *top, *n, *par, *chunk, *batch, *checkpoint, *traceOut, *progress, *progressJSON, *lossless, au, sf); err != nil {
 		fmt.Fprintln(os.Stderr, "rpexplore:", err)
 		os.Exit(1)
 	}
@@ -213,7 +222,7 @@ type auditFlags struct {
 	out      string
 }
 
-func run(app string, axes axisFlags, method string, target float64, top, n, par, chunk, batch int, checkpoint, traceOut string, progress, lossless bool, au auditFlags, sf searchFlags) error {
+func run(app string, axes axisFlags, method string, target float64, top, n, par, chunk, batch int, checkpoint, traceOut string, progress, progressJSON, lossless bool, au auditFlags, sf searchFlags) error {
 	if len(axes) == 0 {
 		axes = axisFlags{
 			{Event: stacks.L1D, Values: []float64{1, 2, 3, 4}},
@@ -253,11 +262,16 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 		opts.Checkpoint = &dse.Checkpoint{Dir: checkpoint, RemoveOnSuccess: true}
 	}
 	var prog *obs.Progress
-	if traceOut != "" || progress {
+	var progJSON *journal.NDJSON
+	if traceOut != "" || progress || progressJSON {
 		var topts []obs.Option
 		if progress {
 			prog = obs.NewProgress(os.Stderr, len(points), 0)
 			topts = append(topts, obs.WithOnEnd(prog.Observe))
+		}
+		if progressJSON {
+			progJSON = journal.NewNDJSON(os.Stderr, len(points), 0, nil)
+			topts = append(topts, obs.WithOnEnd(progJSON.Observe))
 		}
 		// One span per chunk plus the root and any resume markers: sizing
 		// the ring to the point count can never drop a record.
@@ -290,6 +304,9 @@ func run(app string, axes axisFlags, method string, target float64, top, n, par,
 	}
 	if prog != nil {
 		prog.Flush()
+	}
+	if progJSON != nil {
+		progJSON.Close("done")
 	}
 	if traceOut != "" {
 		if err := writeTrace(traceOut, opts.Tracer); err != nil {

@@ -15,9 +15,10 @@
 // disagrees with the coordinator's — a mismatched worker never publishes.
 //
 // With -addr set, GET /healthz and GET /readyz are served with rpserved's
-// semantics: /healthz always answers 200 (status ok or draining), /readyz
-// flips to 503 once draining — and GET /metrics serves the worker's own
-// rpstacks_worker_* families in Prometheus exposition format. The first
+// semantics: /healthz always answers 200 (status ok or draining, plus
+// uptime_seconds), /readyz flips to 503 once draining — and GET /metrics
+// serves the worker's own rpstacks_worker_* families (including
+// rpstacks_process_start_time_seconds) in Prometheus exposition format. The first
 // SIGINT/SIGTERM drains — the chunk in flight finishes and is published —
 // and a second one aborts hard.
 //

@@ -40,6 +40,11 @@ type CoordinatorConfig struct {
 	// passes its own so one scrape covers the fleet. Nil uses a private
 	// registry (the metrics still drive tests via their handles).
 	Registry *prom.Registry
+	// OnChunkEvent observes lease-lifecycle transitions: kind is "lease",
+	// "steal" or "expire". It is called with the coordinator's lock held and
+	// must not call back into the Coordinator; rpserved routes these into
+	// the job journal's live stream. Nil disables.
+	OnChunkEvent func(sweepID string, chunk int, worker, kind string)
 }
 
 // Coordinator owns the lease state machine of every active sweep and the
@@ -47,13 +52,14 @@ type CoordinatorConfig struct {
 // of concurrent sweeps; Run registers one and blocks until its Report is
 // assembled. Create with NewCoordinator, mount as an http.Handler.
 type Coordinator struct {
-	shared   *store.Shared
-	ttl      time.Duration
-	waitHint time.Duration
-	now      func() time.Time
-	logger   *slog.Logger
-	metrics  *coordMetrics
-	mux      *http.ServeMux
+	shared       *store.Shared
+	ttl          time.Duration
+	waitHint     time.Duration
+	now          func() time.Time
+	logger       *slog.Logger
+	metrics      *coordMetrics
+	mux          *http.ServeMux
+	onChunkEvent func(sweepID string, chunk int, worker, kind string)
 
 	mu       sync.Mutex
 	sweeps   map[string]*sweepState
@@ -78,10 +84,10 @@ const fragRetain = 8
 // guarded by Coordinator.mu except done/report/err, which are written once
 // before done closes.
 type sweepState struct {
-	id      string
-	sw      Sweep
-	info    sweepInfo
-	chunks  []chunkState
+	id     string
+	sw     Sweep
+	info   sweepInfo
+	chunks []chunkState
 	// remaining counts chunks not yet done; the sweep finishes at zero.
 	remaining int
 	// resumed counts points restored from blobs a previous coordinator's
@@ -149,15 +155,16 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		cfg.Registry = prom.NewRegistry()
 	}
 	c := &Coordinator{
-		shared:   cfg.Shared,
-		ttl:      cfg.LeaseTTL,
-		waitHint: cfg.WaitHint,
-		now:      cfg.Now,
-		logger:   cfg.Logger,
-		sweeps:   make(map[string]*sweepState),
-		leases:   make(map[uint64]*lease),
-		workers:  make(map[string]time.Time),
-		frags:    make(map[string][]*obs.Fragment),
+		shared:       cfg.Shared,
+		ttl:          cfg.LeaseTTL,
+		waitHint:     cfg.WaitHint,
+		now:          cfg.Now,
+		logger:       cfg.Logger,
+		onChunkEvent: cfg.OnChunkEvent,
+		sweeps:       make(map[string]*sweepState),
+		leases:       make(map[uint64]*lease),
+		workers:      make(map[string]time.Time),
+		frags:        make(map[string][]*obs.Fragment),
 	}
 	c.metrics = newCoordMetrics(cfg.Registry, c)
 	c.mux = http.NewServeMux()
@@ -521,6 +528,9 @@ func (c *Coordinator) expireLocked(now time.Time) {
 			slog.String("worker", l.worker),
 			slog.String("sweep", shortID(l.sweepID)),
 			slog.Int("chunk", l.chunk))
+		if c.onChunkEvent != nil {
+			c.onChunkEvent(l.sweepID, l.chunk, l.worker, "expire")
+		}
 	}
 	for wk, seen := range c.workers {
 		if now.Sub(seen) > 10*c.ttl {
@@ -627,6 +637,13 @@ func (c *Coordinator) grantChunkLocked(st *sweepState, ci int, worker string, no
 	ch.leases = append(ch.leases, l)
 	c.leases[l.id] = l
 	c.metrics.leased.Inc()
+	if c.onChunkEvent != nil {
+		kind := "lease"
+		if stolen {
+			kind = "steal"
+		}
+		c.onChunkEvent(st.id, ci, worker, kind)
+	}
 	return leaseResponse{
 		Status:          "lease",
 		SweepID:         st.id,
@@ -677,6 +694,27 @@ func (c *Coordinator) activeSweeps() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.sweeps)
+}
+
+// Status is one coordinator snapshot for aggregate debug endpoints: live
+// workers (seen within two lease TTLs, sorted by id), active sweeps, and
+// outstanding leases.
+type Status struct {
+	Workers      []string `json:"workers"`
+	ActiveSweeps int      `json:"active_sweeps"`
+	Leases       int      `json:"leases"`
+}
+
+// Status snapshots the coordinator for rpserved's GET /debug/status.
+func (c *Coordinator) Status() Status {
+	workers := c.liveWorkerNames()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Status{
+		Workers:      workers,
+		ActiveSweeps: len(c.sweeps),
+		Leases:       len(c.leases),
+	}
 }
 
 // --- HTTP handlers -------------------------------------------------------

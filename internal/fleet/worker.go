@@ -80,6 +80,7 @@ type Worker struct {
 
 	onEvaluated func(string, int) error
 
+	start    time.Time
 	draining atomic.Bool
 	// sweeps caches rebuilt engines per sweep id; touched only by the Run
 	// goroutine.
@@ -142,6 +143,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		tracer:      cfg.Tracer,
 		reg:         prom.NewRegistry(),
 		onEvaluated: cfg.onEvaluated,
+		start:       time.Now(),
 		sweeps:      make(map[string]*workerSweep),
 		runners:     make(map[string]*experiments.Runner),
 	}
@@ -152,6 +154,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 			obs.WithOnEnd(w.collector.observe))
 	}
 	w.wm = newWorkerMetrics(w.reg)
+	registerProcessStart(w.reg, w.start)
 	return w
 }
 
@@ -202,6 +205,14 @@ func newWorkerMetrics(reg *prom.Registry) *workerMetrics {
 		publish: reg.Counter("rpstacks_worker_publish_seconds_total",
 			"Wall-clock this worker spent publishing result blobs."),
 	}
+}
+
+// registerProcessStart exports the Unix start time of this process — the
+// standard restart-detection gauge, on both the worker's and rpserved's
+// registries.
+func registerProcessStart(reg *prom.Registry, start time.Time) {
+	reg.Gauge("rpstacks_process_start_time_seconds",
+		"Unix time this process started.").Set(float64(start.UnixNano()) / 1e9)
 }
 
 // ID reports the worker's identity as the coordinator sees it.
@@ -603,7 +614,11 @@ func (w *Worker) Handler() http.Handler {
 		if w.draining.Load() {
 			status = "draining"
 		}
-		fleetJSON(rw, http.StatusOK, map[string]string{"status": status, "worker": w.id})
+		fleetJSON(rw, http.StatusOK, map[string]any{
+			"status":         status,
+			"worker":         w.id,
+			"uptime_seconds": time.Since(w.start).Seconds(),
+		})
 	})
 	mux.HandleFunc("GET /readyz", func(rw http.ResponseWriter, _ *http.Request) {
 		if w.draining.Load() {

@@ -28,11 +28,11 @@ func testWorkerOnly(t *testing.T) *Worker {
 	})
 }
 
-func probe(t *testing.T, h http.Handler, path string) (int, map[string]string) {
+func probe(t *testing.T, h http.Handler, path string) (int, map[string]any) {
 	t.Helper()
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
-	var body map[string]string
+	var body map[string]any
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 		t.Fatalf("%s: non-JSON body %q", path, rec.Body.String())
 	}
@@ -60,6 +60,9 @@ func TestWorkerHealthTransitions(t *testing.T) {
 	}
 	if _, body := probe(t, h, "/healthz"); body["worker"] != "probe" {
 		t.Errorf("healthz worker = %q, want probe", body["worker"])
+	}
+	if _, body := probe(t, h, "/healthz"); body["uptime_seconds"] == nil {
+		t.Error("healthz missing uptime_seconds")
 	}
 }
 

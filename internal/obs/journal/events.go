@@ -1,0 +1,79 @@
+package journal
+
+import (
+	"repro/internal/obs"
+)
+
+// events.go — the journal's event grammar: one flat JSON shape shared by
+// every consumer of job progress. rpserved's GET /debug/jobs/{id}/events
+// frames these as Server-Sent Events (the Seq is the SSE id, the Type the
+// SSE event name, the JSON the data line) and rpexplore -progress-json
+// prints them as NDJSON, so scripts parse one format no matter where the
+// sweep ran.
+
+// Event types, in lifecycle order. A job emits queued once, running once,
+// any number of progress and fleet events, and exactly one done event — the
+// terminal frame, whose Status field carries how the job ended.
+const (
+	EventQueued   = "queued"
+	EventRunning  = "running"
+	EventProgress = "progress"
+	EventFleet    = "fleet"
+	EventDone     = "done"
+)
+
+// Fleet event kinds carried in Event.Fleet.
+const (
+	FleetLease  = "lease"
+	FleetSteal  = "steal"
+	FleetExpire = "expire"
+)
+
+// Event is one frame of a job's live stream. Seq increases monotonically
+// per job and never resets, so a client that reconnects with the last Seq
+// it saw (the SSE Last-Event-ID) replays exactly what it missed. TMS is
+// milliseconds since the job was submitted.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	Type string `json:"type"`
+	Job  string `json:"job,omitempty"`
+	TMS  int64  `json:"t_ms"`
+
+	// Progress payload (Type == progress): the obs.ProgressUpdate counts.
+	// Total is 0 when the point count is unknown (guided searches).
+	Done          int64   `json:"done,omitempty"`
+	Total         int64   `json:"total,omitempty"`
+	Percent       float64 `json:"percent,omitempty"`
+	PointsPerSec  float64 `json:"points_per_sec,omitempty"`
+	EtaMS         int64   `json:"eta_ms,omitempty"`
+	ResumedPoints int64   `json:"resumed_points,omitempty"`
+
+	// Fleet payload (Type == fleet): one lease-lifecycle notification.
+	// Chunk is a pointer so chunk 0 survives omitempty.
+	Fleet  string `json:"fleet,omitempty"`
+	Chunk  *int   `json:"chunk,omitempty"`
+	Worker string `json:"worker,omitempty"`
+
+	// Terminal payload (Type == done): the job's final status (done,
+	// failed, timeout, canceled) and error, if any.
+	Status string `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// ProgressEvent renders one obs.ProgressUpdate in the stream schema. Seq,
+// Job and TMS are left for the caller: the journal stamps them per job,
+// rpexplore stamps its own sequence.
+func ProgressEvent(u obs.ProgressUpdate) Event {
+	ev := Event{
+		Type:          EventProgress,
+		Done:          u.Done,
+		Total:         u.Total,
+		Percent:       u.Percent(),
+		PointsPerSec:  u.Rate,
+		ResumedPoints: u.ResumedPoints,
+	}
+	if u.HasETA {
+		ev.EtaMS = u.ETA.Milliseconds()
+	}
+	return ev
+}

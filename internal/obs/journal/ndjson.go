@@ -1,0 +1,67 @@
+package journal
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// NDJSON renders a sweep's progress meter as newline-delimited JSON events
+// in the journal's stream schema — the same frames rpserved serves over SSE,
+// so a script parses one format whether the sweep ran in-process (rpexplore
+// -progress-json) or on the service. Wire Observe as the tracer's WithOnEnd
+// hook and call Close at sweep end for the terminal event.
+type NDJSON struct {
+	prog *obs.Progress
+
+	mu    sync.Mutex
+	enc   *json.Encoder
+	now   func() time.Time
+	start time.Time
+	seq   uint64
+}
+
+// NewNDJSON builds the meter over a sweep of total points, emitting to w at
+// most once per interval (zero: every two seconds, matching NewProgress;
+// negative: every chunk). A nil now uses the wall clock.
+func NewNDJSON(w io.Writer, total int, interval time.Duration, now func() time.Time) *NDJSON {
+	if now == nil {
+		now = time.Now
+	}
+	n := &NDJSON{enc: json.NewEncoder(w), now: now, start: now()}
+	n.prog = obs.NewProgressFunc(n.emit, total, interval, now)
+	return n
+}
+
+// Observe consumes one span record; pass it as the tracer's WithOnEnd hook.
+func (n *NDJSON) Observe(rec obs.Record) { n.prog.Observe(rec) }
+
+// Close flushes the final progress update and emits the terminal done event
+// with the given status.
+func (n *NDJSON) Close(status string) {
+	n.prog.Flush()
+	n.mu.Lock()
+	n.seq++
+	_ = n.enc.Encode(Event{
+		Seq:    n.seq,
+		Type:   EventDone,
+		TMS:    n.now().Sub(n.start).Milliseconds(),
+		Status: status,
+	})
+	n.mu.Unlock()
+}
+
+// emit is the Progress sink: stamp sequence and relative time, write one
+// JSON line.
+func (n *NDJSON) emit(u obs.ProgressUpdate) {
+	n.mu.Lock()
+	n.seq++
+	ev := ProgressEvent(u)
+	ev.Seq = n.seq
+	ev.TMS = n.now().Sub(n.start).Milliseconds()
+	_ = n.enc.Encode(ev)
+	n.mu.Unlock()
+}

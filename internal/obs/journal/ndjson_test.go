@@ -1,0 +1,79 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestNDJSONStream drives the rpexplore -progress-json renderer on an
+// injected clock: every line decodes as a journal Event, progress frames
+// carry the meter's rate and ETA, sequence numbers are monotonic, and Close
+// appends the terminal done frame — the same grammar the SSE stream speaks.
+func TestNDJSONStream(t *testing.T) {
+	var buf bytes.Buffer
+	clock := newTestClock()
+	n := NewNDJSON(&buf, 100, -1, clock.Now)
+
+	clock.Advance(10 * time.Second)
+	n.Observe(chunkSpan(50))
+	clock.Advance(10 * time.Second)
+	n.Observe(chunkSpan(50))
+	// Foreign categories are not progress.
+	n.Observe(obs.Record{Cat: obs.CatJob, Name: obs.NameChunk, Arg: 7})
+	n.Close("done")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("emitted %d lines, want 3 (two progress + done):\n%s", len(lines), buf.String())
+	}
+	var evs []Event
+	for i, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not event JSON: %v\n%s", i, err, line)
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("line %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+		evs = append(evs, ev)
+	}
+
+	first := evs[0]
+	if first.Type != EventProgress || first.Done != 50 || first.Total != 100 {
+		t.Errorf("first frame %+v, want progress 50/100", first)
+	}
+	// 50 points in 10s: 5 pts/s, 50 remaining, ETA 10s.
+	if first.PointsPerSec != 5 || first.EtaMS != 10000 {
+		t.Errorf("first frame rate=%g eta_ms=%d, want 5 pts/s and 10000ms", first.PointsPerSec, first.EtaMS)
+	}
+	if evs[1].Done != 100 || evs[1].Percent != 100 || evs[1].TMS != 20000 {
+		t.Errorf("second frame %+v, want 100/100 at t_ms 20000", evs[1])
+	}
+	last := evs[2]
+	if last.Type != EventDone || last.Status != "done" || last.TMS != 20000 {
+		t.Errorf("terminal frame %+v, want done at t_ms 20000", last)
+	}
+}
+
+// TestNDJSONPacing honors the meter's interval: with a one-minute interval
+// only completion and the terminal frame land.
+func TestNDJSONPacing(t *testing.T) {
+	var buf bytes.Buffer
+	clock := newTestClock()
+	n := NewNDJSON(&buf, 100, time.Minute, clock.Now)
+	clock.Advance(time.Second)
+	for i := 0; i < 9; i++ {
+		n.Observe(chunkSpan(10))
+	}
+	n.Observe(chunkSpan(10)) // completion emits regardless of pacing
+	n.Close("done")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("emitted %d lines, want 2 (completion + done):\n%s", len(lines), buf.String())
+	}
+}

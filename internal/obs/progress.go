@@ -9,14 +9,62 @@ import (
 
 // progress.go — a sweep progress meter driven by the tracer's span hooks:
 // chunk spans advance the done count, resume spans count restored checkpoint
-// chunks. No goroutine and no timer — a line is printed from Observe when
-// the reporting interval has elapsed, and Flush prints the final line. Wire
-// it up with NewTracer(..., WithOnEnd(p.Observe)).
+// chunks. No goroutine and no timer — an update is emitted from Observe when
+// the reporting interval has elapsed, and Flush emits the final one. Wire
+// it up with NewTracer(..., WithOnEnd(p.Observe)). The default sink prints
+// the human one-line status; NewProgressFunc swaps in any other consumer
+// (NDJSON on a CLI, SSE events on a server) of the same rate/ETA math.
+
+// ProgressUpdate is one snapshot of sweep completion: the raw counts plus
+// the derived rate and ETA, everything a renderer needs. Line renders the
+// canonical human form.
+type ProgressUpdate struct {
+	// Done is how many of Total design points are complete (restored
+	// checkpoint points included). Total is 0 when the point count is not
+	// known up front (a guided search probes lazily).
+	Done  int64
+	Total int64
+	// Rate is evaluated points per second; restored points took no sweep
+	// time and are excluded from the numerator.
+	Rate float64
+	// ETA extrapolates the remaining points at Rate; meaningful only when
+	// HasETA (some points remain and the rate is non-zero).
+	ETA    time.Duration
+	HasETA bool
+	// ResumedChunks and ResumedPoints count work restored from a checkpoint
+	// or from previously-published fleet blobs instead of evaluated.
+	ResumedChunks int64
+	ResumedPoints int64
+	// Final marks the update emitted by Flush — the sweep is over.
+	Final bool
+}
+
+// Percent is Done as a share of Total (0 when Total is unknown).
+func (u ProgressUpdate) Percent() float64 {
+	return 100 * float64(u.Done) / float64(max64(u.Total, 1))
+}
+
+// Line renders the canonical one-line status.
+func (u ProgressUpdate) Line() string {
+	eta := "?"
+	if u.Total-u.Done <= 0 {
+		eta = "0s"
+	} else if u.HasETA {
+		eta = u.ETA.Round(100 * time.Millisecond).String()
+	}
+	line := fmt.Sprintf("progress: %d/%d points (%.1f%%) %.0f pts/s eta %s",
+		u.Done, u.Total, u.Percent(), u.Rate, eta)
+	if u.ResumedChunks > 0 {
+		line += fmt.Sprintf(" resumed %d chunks (%d pts)", u.ResumedChunks, u.ResumedPoints)
+	}
+	return line
+}
 
 // Progress accumulates sweep completion from span records and periodically
-// writes a one-line status.
+// emits a ProgressUpdate.
 type Progress struct {
 	w        io.Writer
+	emit     func(ProgressUpdate)
 	total    int64
 	interval time.Duration
 	now      func() time.Time // injectable for tests
@@ -24,7 +72,7 @@ type Progress struct {
 	mu            sync.Mutex
 	start         time.Time
 	lastPrint     time.Time
-	printedDone   int64 // done count at the last printed line, -1 before any
+	printedDone   int64 // done count at the last emitted update, -1 before any
 	done          int64
 	resumedChunks int64
 	resumedPoints int64
@@ -36,9 +84,30 @@ func NewProgress(w io.Writer, total int, interval time.Duration) *Progress {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
-	now := time.Now
+	p := newProgress(total, interval, nil)
+	p.w = w
+	return p
+}
+
+// NewProgressFunc returns a meter that hands each update to emit instead of
+// printing: the same counting, pacing and rate/ETA math as NewProgress with
+// the rendering swapped out. A zero interval defaults to two seconds; a
+// negative one emits on every observation. A nil now uses the wall clock.
+func NewProgressFunc(emit func(ProgressUpdate), total int, interval time.Duration, now func() time.Time) *Progress {
+	if interval == 0 {
+		interval = 2 * time.Second
+	}
+	p := newProgress(total, interval, now)
+	p.emit = emit
+	return p
+}
+
+func newProgress(total int, interval time.Duration, now func() time.Time) *Progress {
+	if now == nil {
+		now = time.Now
+	}
 	t := now()
-	return &Progress{w: w, total: int64(total), interval: interval, now: now, start: t, lastPrint: t, printedDone: -1}
+	return &Progress{total: int64(total), interval: interval, now: now, start: t, lastPrint: t, printedDone: -1}
 }
 
 // Observe consumes one span record; pass it as the tracer's WithOnEnd hook.
@@ -61,21 +130,21 @@ func (p *Progress) Observe(rec Record) {
 		return
 	}
 	t := p.now()
-	if (t.Sub(p.lastPrint) < p.interval && p.done < p.total) || p.printedDone == p.done {
+	if (p.interval > 0 && t.Sub(p.lastPrint) < p.interval && p.done < p.total) || p.printedDone == p.done {
 		p.mu.Unlock()
 		return
 	}
 	p.lastPrint = t
 	p.printedDone = p.done
-	line := p.lineLocked(t)
+	u := p.updateLocked(t, false)
 	p.mu.Unlock()
-	fmt.Fprintln(p.w, line)
+	p.deliver(u)
 }
 
-// Flush prints the final progress line, unless Observe already printed one
-// at the current done count or no chunk was ever observed — a sweep that
-// errors before its first chunk completes must not print a spurious
-// "0/N points" line.
+// Flush emits the final update, unless Observe already emitted one at the
+// current done count or no chunk was ever observed — a sweep that errors
+// before its first chunk completes must not emit a spurious "0/N points"
+// update.
 func (p *Progress) Flush() {
 	p.mu.Lock()
 	if p.printedDone == p.done || (p.printedDone < 0 && p.done == 0) {
@@ -83,31 +152,41 @@ func (p *Progress) Flush() {
 		return
 	}
 	p.printedDone = p.done
-	line := p.lineLocked(p.now())
+	u := p.updateLocked(p.now(), true)
 	p.mu.Unlock()
-	fmt.Fprintln(p.w, line)
+	p.deliver(u)
 }
 
-// lineLocked renders the status line. Called with mu held.
-func (p *Progress) lineLocked(t time.Time) string {
+// deliver hands one update to the configured sink.
+func (p *Progress) deliver(u ProgressUpdate) {
+	if p.emit != nil {
+		p.emit(u)
+		return
+	}
+	fmt.Fprintln(p.w, u.Line())
+}
+
+// updateLocked snapshots the derived counts. Called with mu held.
+func (p *Progress) updateLocked(t time.Time, final bool) ProgressUpdate {
 	elapsed := t.Sub(p.start)
 	evaluated := p.done - p.resumedPoints // restored points took no sweep time
 	rate := 0.0
 	if elapsed > 0 {
 		rate = float64(evaluated) / elapsed.Seconds()
 	}
-	eta := "?"
-	if remaining := p.total - p.done; remaining <= 0 {
-		eta = "0s"
-	} else if rate > 0 {
-		eta = time.Duration(float64(remaining) / rate * float64(time.Second)).Round(100 * time.Millisecond).String()
+	u := ProgressUpdate{
+		Done:          p.done,
+		Total:         p.total,
+		Rate:          rate,
+		ResumedChunks: p.resumedChunks,
+		ResumedPoints: p.resumedPoints,
+		Final:         final,
 	}
-	line := fmt.Sprintf("progress: %d/%d points (%.1f%%) %.0f pts/s eta %s",
-		p.done, p.total, 100*float64(p.done)/float64(max64(p.total, 1)), rate, eta)
-	if p.resumedChunks > 0 {
-		line += fmt.Sprintf(" resumed %d chunks (%d pts)", p.resumedChunks, p.resumedPoints)
+	if remaining := p.total - p.done; remaining > 0 && rate > 0 {
+		u.ETA = time.Duration(float64(remaining) / rate * float64(time.Second))
+		u.HasETA = true
 	}
-	return line
+	return u
 }
 
 func max64(a, b int64) int64 {

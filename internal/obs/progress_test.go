@@ -65,6 +65,70 @@ func TestProgressFlushAfterResume(t *testing.T) {
 	}
 }
 
+// NewProgressFunc delivers the same counting and rate/ETA math as the
+// printing form through an arbitrary sink: a negative interval emits on
+// every observation, updates carry derived rate and ETA, and Flush marks its
+// update Final exactly once.
+func TestProgressFuncEmitsUpdates(t *testing.T) {
+	var got []ProgressUpdate
+	base := time.Unix(0, 0)
+	now := base
+	p := NewProgressFunc(func(u ProgressUpdate) { got = append(got, u) },
+		100, -1, func() time.Time { return now })
+
+	now = now.Add(5 * time.Second)
+	p.Observe(Record{Cat: CatDSE, Name: NameChunk, Arg: 10})
+	now = now.Add(5 * time.Second)
+	p.Observe(Record{Cat: CatDSE, Name: NameChunk, Arg: 40})
+	if len(got) != 2 {
+		t.Fatalf("negative interval emitted %d updates, want one per observation (2)", len(got))
+	}
+	if got[0].Done != 10 || got[0].Total != 100 || got[0].Rate != 2 {
+		t.Errorf("first update %+v: want Done=10 Total=100 Rate=2", got[0])
+	}
+	// 50 points in 10s: 5 pts/s, 50 remaining, ETA 10s.
+	u := got[1]
+	if u.Done != 50 || u.Rate != 5 || !u.HasETA || u.ETA != 10*time.Second {
+		t.Errorf("second update %+v: want Done=50 Rate=5 ETA=10s", u)
+	}
+	if u.Final {
+		t.Error("mid-sweep update marked Final")
+	}
+	if u.Percent() != 50 {
+		t.Errorf("Percent() = %g, want 50", u.Percent())
+	}
+
+	// Flush at a new done count emits exactly one Final update; a second
+	// Flush stays silent.
+	p.Observe(Record{Cat: CatDSE, Name: NameChunk, Arg: 0}) // unchanged count: no emit
+	now = now.Add(10 * time.Second)
+	p.Observe(Record{Cat: CatDSE, Name: NameChunk, Arg: 50})
+	p.Flush()
+	p.Flush()
+	if len(got) != 3 {
+		t.Fatalf("got %d updates, want 3 (two paced, one at 100, none for the flushes)", len(got))
+	}
+	last := got[len(got)-1]
+	if last.Done != 100 {
+		t.Errorf("final update Done = %d, want 100", last.Done)
+	}
+	// The 100/100 observation already emitted; Flush had nothing new. The
+	// emitted-at-completion update is not Final (it came from Observe).
+	if last.Final {
+		t.Error("Observe-emitted completion update marked Final")
+	}
+
+	// A fresh meter whose last emit precedes Flush: the flush update is Final.
+	got = nil
+	p2 := NewProgressFunc(func(u ProgressUpdate) { got = append(got, u) },
+		100, time.Hour, func() time.Time { return now })
+	p2.Observe(Record{Cat: CatDSE, Name: NameChunk, Arg: 30})
+	p2.Flush()
+	if len(got) != 1 || !got[0].Final || got[0].Done != 30 {
+		t.Fatalf("flush updates %+v: want exactly one Final update at Done=30", got)
+	}
+}
+
 // Observe prints only once the reporting interval has elapsed, and never
 // repeats a line for an unchanged done count.
 func TestProgressIntervalPacing(t *testing.T) {

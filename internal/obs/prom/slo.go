@@ -1,0 +1,282 @@
+package prom
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// slo.go — latency SLOs with multi-window burn rates, in the registry's
+// hand-rolled spirit. Each class (rpserved labels them by engine) gets a
+// latency threshold; every observation is an event, an observation that
+// succeeded within the threshold is a good event, and the burn rate over a
+// window is the bad fraction divided by the error budget (1 − objective):
+// burn 1 spends the budget exactly at the objective's pace, burn 10 spends
+// it ten times too fast. Rates are computed from a time-bucketed ring on an
+// injectable clock — no goroutines, advanced lazily on observe and scrape —
+// and crossing burn 1 on any window fires the OnBurn hook once per episode
+// (edge-triggered, re-armed when the window recovers).
+
+// Default SLO windows: a fast window that catches an acute burn within
+// minutes and a slow one that catches a simmering one.
+var defaultSLOWindows = []time.Duration{5 * time.Minute, time.Hour}
+
+// SLOOptions parameterizes NewSLO.
+type SLOOptions struct {
+	// Prefix is the metric-family name prefix, e.g. "rpstacks_slo" —
+	// families land as <prefix>_target_info, <prefix>_good_total,
+	// <prefix>_events_total and <prefix>_burn_rate.
+	Prefix string
+	// Objective is the success-ratio objective shared by every class
+	// (default 0.99 — a 1% error budget).
+	Objective float64
+	// Windows are the burn-rate windows (default 5m and 1h), longest
+	// bounding the ring.
+	Windows []time.Duration
+	// Bucket is the ring granularity (default 10s).
+	Bucket time.Duration
+	// Now is the window clock, injectable for tests (default time.Now).
+	Now func() time.Time
+	// OnBurn fires once per burn episode: when a window's rate first
+	// exceeds 1. Nil disables.
+	OnBurn func(class string, window time.Duration, rate float64)
+}
+
+// SLO tracks per-class latency objectives. Create with NewSLO, declare
+// classes with SetTarget, feed every request through Observe.
+type SLO struct {
+	objective float64
+	windows   []time.Duration
+	bucket    time.Duration
+	ringLen   int
+	now       func() time.Time
+	onBurn    func(string, time.Duration, float64)
+
+	good   *CounterVec
+	events *CounterVec
+	info   *GaugeVec
+
+	mu      sync.Mutex
+	classes map[string]*sloClass
+	order   []string
+}
+
+// sloClass is one class's threshold and bucket ring; guarded by SLO.mu.
+type sloClass struct {
+	threshold time.Duration
+	ring      []sloBucket
+	head      int
+	headStart time.Time
+	burning   map[time.Duration]bool
+}
+
+type sloBucket struct {
+	good  uint64
+	total uint64
+}
+
+// NewSLO builds an SLO tracker and registers its families on reg.
+func NewSLO(reg *Registry, opts SLOOptions) *SLO {
+	if opts.Prefix == "" {
+		opts.Prefix = "slo"
+	}
+	if opts.Objective <= 0 || opts.Objective >= 1 {
+		opts.Objective = 0.99
+	}
+	if len(opts.Windows) == 0 {
+		opts.Windows = defaultSLOWindows
+	}
+	if opts.Bucket <= 0 {
+		opts.Bucket = 10 * time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	longest := opts.Windows[0]
+	for _, w := range opts.Windows {
+		if w > longest {
+			longest = w
+		}
+	}
+	s := &SLO{
+		objective: opts.Objective,
+		windows:   opts.Windows,
+		bucket:    opts.Bucket,
+		ringLen:   int(longest/opts.Bucket) + 1,
+		now:       opts.Now,
+		onBurn:    opts.OnBurn,
+		classes:   make(map[string]*sloClass),
+		good: reg.CounterVec(opts.Prefix+"_good_total",
+			"SLO events that succeeded within the class's latency threshold.", "class"),
+		events: reg.CounterVec(opts.Prefix+"_events_total",
+			"All SLO events, good or not.", "class"),
+		info: reg.GaugeVec(opts.Prefix+"_target_info",
+			"Configured latency objectives; the value is always 1.",
+			"class", "threshold_ms", "objective"),
+	}
+	reg.Collect(opts.Prefix+"_burn_rate",
+		"Error-budget burn rate per class and window: the windowed bad fraction over the error budget (1 exhausts the budget exactly at the objective's pace).",
+		"gauge", s.collectBurn)
+	return s
+}
+
+// SetTarget declares one class's latency threshold (idempotent; the last
+// threshold wins) and pre-creates its counter rows so the exposition is
+// complete from the first scrape.
+func (s *SLO) SetTarget(class string, threshold time.Duration) {
+	s.mu.Lock()
+	c, ok := s.classes[class]
+	if !ok {
+		c = &sloClass{
+			ring:      make([]sloBucket, s.ringLen),
+			headStart: s.now().Truncate(s.bucket),
+			burning:   make(map[time.Duration]bool),
+		}
+		s.classes[class] = c
+		s.order = append(s.order, class)
+	}
+	c.threshold = threshold
+	s.mu.Unlock()
+	s.good.With(class)
+	s.events.With(class)
+	s.info.With(class,
+		strconv.FormatInt(threshold.Milliseconds(), 10),
+		strconv.FormatFloat(s.objective, 'g', -1, 64)).Set(1)
+}
+
+// Observe feeds one event: ok says whether the request itself succeeded,
+// and a good event additionally finished within the class's threshold.
+// Unknown classes (no SetTarget) are ignored. Returns whether the event
+// counted as good.
+func (s *SLO) Observe(class string, latency time.Duration, ok bool) bool {
+	s.mu.Lock()
+	c := s.classes[class]
+	if c == nil {
+		s.mu.Unlock()
+		return false
+	}
+	now := s.now()
+	s.advanceLocked(c, now)
+	good := ok && latency <= c.threshold
+	c.ring[c.head].total++
+	if good {
+		c.ring[c.head].good++
+	}
+	type burnHit struct {
+		window time.Duration
+		rate   float64
+	}
+	var hits []burnHit
+	for _, w := range s.windows {
+		rate := s.burnLocked(c, w)
+		if rate > 1 && !c.burning[w] {
+			c.burning[w] = true
+			hits = append(hits, burnHit{w, rate})
+		} else if rate <= 1 {
+			c.burning[w] = false
+		}
+	}
+	s.mu.Unlock()
+
+	s.events.With(class).Inc()
+	if good {
+		s.good.With(class).Inc()
+	}
+	if s.onBurn != nil {
+		for _, h := range hits {
+			s.onBurn(class, h.window, h.rate)
+		}
+	}
+	return good
+}
+
+// BurnRate reports one class and window's current burn rate (0 for unknown
+// classes or empty windows).
+func (s *SLO) BurnRate(class string, window time.Duration) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.classes[class]
+	if c == nil {
+		return 0
+	}
+	s.advanceLocked(c, s.now())
+	return s.burnLocked(c, window)
+}
+
+// collectBurn is the scrape-time pull of every class × window burn rate,
+// in declaration order so the exposition is deterministic.
+func (s *SLO) collectBurn(emit func(string, float64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	for _, class := range s.order {
+		c := s.classes[class]
+		s.advanceLocked(c, now)
+		for _, w := range s.windows {
+			emit(fmt.Sprintf("{class=%q,window=%q}", class, fmtWindow(w)), s.burnLocked(c, w))
+		}
+	}
+}
+
+// advanceLocked rotates the ring forward to cover now, zeroing buckets the
+// clock skipped. Called with mu held.
+func (s *SLO) advanceLocked(c *sloClass, now time.Time) {
+	steps := int(now.Sub(c.headStart) / s.bucket)
+	if steps <= 0 {
+		return
+	}
+	if steps >= len(c.ring) {
+		for i := range c.ring {
+			c.ring[i] = sloBucket{}
+		}
+		c.head = 0
+		c.headStart = now.Truncate(s.bucket)
+		return
+	}
+	for i := 0; i < steps; i++ {
+		c.head = (c.head + 1) % len(c.ring)
+		c.ring[c.head] = sloBucket{}
+	}
+	c.headStart = c.headStart.Add(time.Duration(steps) * s.bucket)
+}
+
+// burnLocked computes one window's burn rate from the ring. Called with mu
+// held, after advanceLocked.
+func (s *SLO) burnLocked(c *sloClass, window time.Duration) float64 {
+	n := int(window / s.bucket)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(c.ring) {
+		n = len(c.ring)
+	}
+	var good, total uint64
+	idx := c.head
+	for i := 0; i < n; i++ {
+		good += c.ring[idx].good
+		total += c.ring[idx].total
+		idx--
+		if idx < 0 {
+			idx = len(c.ring) - 1
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	bad := float64(total-good) / float64(total)
+	return bad / (1 - s.objective)
+}
+
+// fmtWindow renders a window compactly for its label value: "5m", "1h",
+// "90s" — not Duration.String()'s "5m0s".
+func fmtWindow(d time.Duration) string {
+	switch {
+	case d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return fmt.Sprintf("%ds", d/time.Second)
+	}
+}

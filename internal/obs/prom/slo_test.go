@@ -1,0 +1,211 @@
+package prom
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// near absorbs float error from the (1 − objective) budget division.
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// sloAt builds an SLO on an injected clock the test advances directly.
+func sloAt(t *testing.T, opts SLOOptions) (*SLO, *Registry, *time.Time) {
+	t.Helper()
+	now := time.Unix(10_000, 0)
+	opts.Now = func() time.Time { return now }
+	if opts.Prefix == "" {
+		opts.Prefix = "rpstacks_slo"
+	}
+	r := NewRegistry()
+	return NewSLO(r, opts), r, &now
+}
+
+// TestSLOCountersAndTargetInfo: SetTarget exports the objective row, Observe
+// splits events into good (ok and under threshold) and not.
+func TestSLOCountersAndTargetInfo(t *testing.T) {
+	s, r, _ := sloAt(t, SLOOptions{Objective: 0.9})
+	s.SetTarget("graph", 500*time.Millisecond)
+
+	if !s.Observe("graph", 100*time.Millisecond, true) {
+		t.Error("fast success not counted good")
+	}
+	if s.Observe("graph", 2*time.Second, true) {
+		t.Error("slow success counted good")
+	}
+	if s.Observe("graph", 100*time.Millisecond, false) {
+		t.Error("fast failure counted good")
+	}
+	if s.Observe("no-such-class", time.Millisecond, true) {
+		t.Error("unknown class counted good")
+	}
+
+	out := render(r)
+	for _, want := range []string{
+		`rpstacks_slo_target_info{class="graph",threshold_ms="500",objective="0.9"} 1`,
+		`rpstacks_slo_good_total{class="graph"} 1`,
+		`rpstacks_slo_events_total{class="graph"} 3`,
+		`rpstacks_slo_burn_rate{class="graph",window="5m"}`,
+		`rpstacks_slo_burn_rate{class="graph",window="1h"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSLOBurnRateMath pins the definition: burn = windowed bad fraction over
+// the error budget. Objective 0.9 leaves a 10% budget, so a 50% bad window
+// burns at 5.
+func TestSLOBurnRateMath(t *testing.T) {
+	s, _, _ := sloAt(t, SLOOptions{Objective: 0.9})
+	s.SetTarget("graph", time.Second)
+
+	if got := s.BurnRate("graph", 5*time.Minute); got != 0 {
+		t.Errorf("empty window burns at %g, want 0", got)
+	}
+	for i := 0; i < 5; i++ {
+		s.Observe("graph", time.Millisecond, true)
+		s.Observe("graph", 10*time.Second, true) // over threshold: bad
+	}
+	if got := s.BurnRate("graph", 5*time.Minute); !near(got, 5) {
+		t.Errorf("50%% bad on a 10%% budget burns at %g, want 5", got)
+	}
+	// Exactly at the objective's pace: 1 bad in 10 is burn 1.
+	s2, _, _ := sloAt(t, SLOOptions{Objective: 0.9})
+	s2.SetTarget("graph", time.Second)
+	for i := 0; i < 9; i++ {
+		s2.Observe("graph", time.Millisecond, true)
+	}
+	s2.Observe("graph", 10*time.Second, true)
+	if got := s2.BurnRate("graph", 5*time.Minute); !near(got, 1) {
+		t.Errorf("budget-pace burn = %g, want exactly 1", got)
+	}
+	if got := s2.BurnRate("no-such-class", 5*time.Minute); got != 0 {
+		t.Errorf("unknown class burns at %g, want 0", got)
+	}
+}
+
+// TestSLOWindowExpiry: bad events age out of the short window first — the
+// multi-window property that distinguishes an acute burn from a simmering
+// one — and a clock jump past the whole ring clears everything.
+func TestSLOWindowExpiry(t *testing.T) {
+	s, _, now := sloAt(t, SLOOptions{Objective: 0.9, Windows: []time.Duration{time.Minute, time.Hour}, Bucket: 10 * time.Second})
+	s.SetTarget("graph", time.Second)
+
+	s.Observe("graph", 10*time.Second, true) // bad
+	if got := s.BurnRate("graph", time.Minute); !near(got, 10) {
+		t.Fatalf("all-bad fast window burns at %g, want 10", got)
+	}
+	// Two minutes of good traffic: the bad event leaves the 1m window but
+	// still taints the 1h window.
+	for i := 0; i < 12; i++ {
+		*now = now.Add(10 * time.Second)
+		s.Observe("graph", time.Millisecond, true)
+	}
+	if got := s.BurnRate("graph", time.Minute); got != 0 {
+		t.Errorf("fast window still burns at %g after the bad event aged out", got)
+	}
+	if got := s.BurnRate("graph", time.Hour); got == 0 {
+		t.Error("slow window forgot the bad event within the hour")
+	}
+	// A jump past the longest window clears the ring entirely.
+	*now = now.Add(2 * time.Hour)
+	if got := s.BurnRate("graph", time.Hour); got != 0 {
+		t.Errorf("slow window burns at %g after a 2h gap, want 0", got)
+	}
+}
+
+// TestSLOOnBurnEdgeTriggered: the hook fires once when a window first
+// crosses burn 1, stays quiet while it keeps burning, and re-arms after the
+// window recovers.
+func TestSLOOnBurnEdgeTriggered(t *testing.T) {
+	type firing struct {
+		class  string
+		window time.Duration
+		rate   float64
+	}
+	var fired []firing
+	s, _, now := sloAt(t, SLOOptions{
+		Objective: 0.9,
+		Windows:   []time.Duration{time.Minute},
+		Bucket:    10 * time.Second,
+		OnBurn: func(class string, window time.Duration, rate float64) {
+			fired = append(fired, firing{class, window, rate})
+		},
+	})
+	s.SetTarget("graph", time.Second)
+
+	s.Observe("graph", 10*time.Second, true) // burn 10: first crossing
+	s.Observe("graph", 10*time.Second, true) // still burning: no refire
+	if len(fired) != 1 {
+		t.Fatalf("hook fired %d times during one episode, want 1", len(fired))
+	}
+	if f := fired[0]; f.class != "graph" || f.window != time.Minute || f.rate <= 1 {
+		t.Errorf("firing %+v, want class=graph window=1m rate>1", f)
+	}
+	// Recovery: enough good traffic (and aging) drops the rate to ≤ 1 and
+	// re-arms the edge.
+	for i := 0; i < 12; i++ {
+		*now = now.Add(10 * time.Second)
+		s.Observe("graph", time.Millisecond, true)
+	}
+	if got := s.BurnRate("graph", time.Minute); got > 1 {
+		t.Fatalf("window did not recover: burn %g", got)
+	}
+	s.Observe("graph", 10*time.Second, true) // a fresh episode
+	if len(fired) != 2 {
+		t.Errorf("hook fired %d times across two episodes, want 2", len(fired))
+	}
+}
+
+// TestSLOSetTargetIdempotent: re-declaring a class keeps its ring and
+// updates the threshold; the exposition carries the latest target row.
+func TestSLOSetTargetIdempotent(t *testing.T) {
+	s, r, _ := sloAt(t, SLOOptions{})
+	s.SetTarget("graph", time.Second)
+	s.Observe("graph", 2*time.Second, true) // bad under the 1s threshold
+	s.SetTarget("graph", 5*time.Second)
+	if !s.Observe("graph", 2*time.Second, true) {
+		t.Error("2s latency bad under the updated 5s threshold")
+	}
+	out := render(r)
+	if !strings.Contains(out, `rpstacks_slo_events_total{class="graph"} 2`) {
+		t.Errorf("re-declared class lost its counters:\n%s", out)
+	}
+	if !strings.Contains(out, `threshold_ms="5000"`) {
+		t.Errorf("exposition missing the updated threshold:\n%s", out)
+	}
+}
+
+// TestSLOConcurrentObserve races observers against scrapes under -race.
+func TestSLOConcurrentObserve(t *testing.T) {
+	s, r, _ := sloAt(t, SLOOptions{})
+	s.SetTarget("graph", time.Second)
+	s.SetTarget("rpstacks", time.Second)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			class := "graph"
+			if i%2 == 0 {
+				class = "rpstacks"
+			}
+			for k := 0; k < 100; k++ {
+				s.Observe(class, time.Duration(k)*time.Millisecond, k%3 != 0)
+				if k%25 == 0 {
+					render(r)
+					s.BurnRate(class, 5*time.Minute)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	out := render(r)
+	if !strings.Contains(out, `rpstacks_slo_events_total{class="graph"} 200`) {
+		t.Errorf("lost events under concurrency:\n%s", out)
+	}
+}

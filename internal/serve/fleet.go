@@ -61,6 +61,9 @@ func (s *Server) fleetSweep(ctx context.Context, job *Job, points []stacks.Laten
 	if err != nil {
 		return nil, err
 	}
+	sweepID := hex.EncodeToString(fp)
+	s.trackFleetSweep(sweepID, job.ID)
+	defer s.untrackFleetSweep(sweepID, job.ID)
 	rep, err := s.fleet.Run(ctx, fleet.Sweep{
 		Spec: fleet.SweepSpec{
 			Workload:  spec.Workload,
@@ -87,4 +90,31 @@ func (s *Server) fleetSweep(ctx context.Context, job *Job, points []stacks.Laten
 	// sweep fingerprint).
 	job.addFleetFragments(s.fleet.TraceFragments(hex.EncodeToString(fp)))
 	return rep, nil
+}
+
+// trackFleetSweep maps an active sweep's ID onto the job that delegated it,
+// so coordinator lease events route into the job's journal stream. Two jobs
+// attaching to one identical sweep (same fingerprint) is legal: the last
+// registration wins, which keeps the events on a live job.
+func (s *Server) trackFleetSweep(sweepID, jobID string) {
+	s.fleetJobsMu.Lock()
+	s.fleetJobs[sweepID] = jobID
+	s.fleetJobsMu.Unlock()
+}
+
+// untrackFleetSweep drops the mapping, unless a later registration of the
+// same sweep (an attached duplicate job) took it over.
+func (s *Server) untrackFleetSweep(sweepID, jobID string) {
+	s.fleetJobsMu.Lock()
+	if s.fleetJobs[sweepID] == jobID {
+		delete(s.fleetJobs, sweepID)
+	}
+	s.fleetJobsMu.Unlock()
+}
+
+// fleetJob resolves a sweep ID to its delegating job ("" when untracked).
+func (s *Server) fleetJob(sweepID string) string {
+	s.fleetJobsMu.Lock()
+	defer s.fleetJobsMu.Unlock()
+	return s.fleetJobs[sweepID]
 }

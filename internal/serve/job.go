@@ -182,6 +182,14 @@ func (j *Job) Audit() *audit.Report {
 	return j.audit
 }
 
+// AuditStatus returns the audit summary ("ok" or "drift"), empty when the
+// job was not audited.
+func (j *Job) AuditStatus() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.auditStatus
+}
+
 // jobView is the JSON shape of a job in API responses.
 type jobView struct {
 	ID        string    `json:"id"`

@@ -75,6 +75,10 @@ type metrics struct {
 	searchResumed  *prom.CounterVec
 	searchRounds   *prom.CounterVec
 	searchFrontier *prom.Histogram
+
+	// slo is the latency-objective layer; nil unless Config.SLOTargets set
+	// any. New wires it after newMetrics because it needs the server clock.
+	slo *prom.SLO
 }
 
 func newMetrics() *metrics {

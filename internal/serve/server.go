@@ -44,6 +44,8 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
+	"repro/internal/obs/prom"
 	"repro/internal/serve/cache"
 	"repro/internal/stacks"
 	"repro/internal/store"
@@ -98,6 +100,28 @@ type Config struct {
 	// FleetChunkSize is the points-per-lease granularity (zero: ~32 chunks
 	// per sweep).
 	FleetChunkSize int
+	// JournalCapacity bounds the job journal's retained flight records
+	// (zero: 512; negative disables the journal and its /debug/jobs
+	// endpoints entirely).
+	JournalCapacity int
+	// JournalProgressInterval paces the journal's live progress events
+	// (zero: 500ms; negative: one event per chunk — tests want every
+	// observation).
+	JournalProgressInterval time.Duration
+	// SlowJobThreshold, when positive, logs one structured warning with the
+	// per-stage breakdown for any job whose wall-clock exceeds it.
+	SlowJobThreshold time.Duration
+	// SLOTargets maps engine name to its latency objective; a finished job
+	// is a good SLO event when it succeeded within its engine's threshold.
+	// Empty disables the SLO layer.
+	SLOTargets map[string]time.Duration
+	// SLOObjective is the success-ratio objective shared by every target
+	// (zero: 0.99).
+	SLOObjective float64
+	// Clock is the server's wall clock, injectable for tests (nil:
+	// time.Now). It drives job timestamps, the journal, slow-job detection
+	// and the SLO windows; span durations keep the tracer's own clock.
+	Clock func() time.Time
 }
 
 // defaultTraceCapacity is the per-job flight-recorder ring size: enough for
@@ -124,6 +148,17 @@ type Server struct {
 	// servers keep sweeping locally.
 	fleet         *fleet.Coordinator
 	fleetEligible bool
+	// fleetJobs maps an active fleet sweep ID (the hex fingerprint) to the
+	// job that delegated it, so coordinator lease events land on the right
+	// journal stream.
+	fleetJobsMu sync.Mutex
+	fleetJobs   map[string]string
+
+	// journal is the per-job flight recorder of record — nil when disabled.
+	journal *journal.Journal
+	// now is Config.Clock (or time.Now); start anchors uptime reporting.
+	now   func() time.Time
+	start time.Time
 
 	queue    chan *Job
 	wg       sync.WaitGroup
@@ -211,6 +246,9 @@ func New(cfg Config) *Server {
 	if cfg.Store != nil {
 		blob = cfg.Store
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
 	s := &Server{
 		cfg:       cfg,
 		logger:    cfg.Logger,
@@ -220,8 +258,50 @@ func New(cfg Config) *Server {
 		artifacts: cache.NewTiered[*setupArtifacts](cfg.CacheEntries, blob),
 		queue:     make(chan *Job, cfg.QueueDepth),
 		jobs:      make(map[string]*Job),
+		fleetJobs: make(map[string]string),
+		now:       cfg.Clock,
+		start:     time.Now(),
 	}
 	s.jobCtx, s.jobCancel = context.WithCancel(context.Background())
+	s.metrics.reg.Gauge("rpstacks_process_start_time_seconds",
+		"Unix time this process started.").Set(float64(s.start.UnixNano()) / 1e9)
+
+	if cfg.JournalCapacity >= 0 {
+		// Same nil-interface caveat as the cache tiers: a nil *store.Store
+		// must stay a nil journal.Store.
+		var jstore journal.Store
+		if cfg.Store != nil {
+			jstore = cfg.Store
+		}
+		s.journal = journal.New(journal.Options{
+			Store:            jstore,
+			Capacity:         cfg.JournalCapacity,
+			ProgressInterval: cfg.JournalProgressInterval,
+			Now:              s.now,
+			Logger:           cfg.Logger,
+		})
+	}
+	if len(cfg.SLOTargets) > 0 {
+		s.metrics.slo = prom.NewSLO(s.metrics.reg, prom.SLOOptions{
+			Prefix:    "rpstacks_slo",
+			Objective: cfg.SLOObjective,
+			Now:       s.now,
+			OnBurn: func(class string, window time.Duration, rate float64) {
+				s.logger.Warn("slo burn: error budget burning faster than the objective allows",
+					slog.String("engine", class),
+					slog.Duration("window", window),
+					slog.Float64("burn_rate", rate))
+			},
+		})
+		engines := make([]string, 0, len(cfg.SLOTargets))
+		for engine := range cfg.SLOTargets {
+			engines = append(engines, engine)
+		}
+		sort.Strings(engines)
+		for _, engine := range engines {
+			s.metrics.slo.SetTarget(engine, cfg.SLOTargets[engine])
+		}
+	}
 
 	cfgJSON, _ := json.Marshal(cfg.BaseConfig)
 	print := sha256.Sum256(fmt.Appendf(cfgJSON, "|%+v", cfg.AnalysisOpts))
@@ -238,6 +318,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /debug/audit", s.handleAudit)
+	s.mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
+	s.mux.HandleFunc("GET /debug/jobs/{id}", s.handleDebugJob)
+	s.mux.HandleFunc("GET /debug/jobs/{id}/events", s.handleDebugJobEvents)
+	s.mux.HandleFunc("GET /debug/status", s.handleDebugStatus)
 	s.registerCollectors()
 
 	if cfg.FleetStore != nil {
@@ -246,6 +330,11 @@ func New(cfg Config) *Server {
 			LeaseTTL: cfg.FleetLeaseTTL,
 			Logger:   cfg.Logger,
 			Registry: s.metrics.reg,
+			OnChunkEvent: func(sweepID string, chunk int, worker, kind string) {
+				if id := s.fleetJob(sweepID); id != "" {
+					s.journal.FleetEvent(id, kind, chunk, worker)
+				}
+			},
 		})
 		// The coordinator's mux matches full /fleet/v1/... paths, so it
 		// mounts without a strip.
@@ -313,22 +402,31 @@ func (s *Server) runJob(job *Job) {
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 	job.setStatus(JobRunning)
+	s.journal.JobRunning(job.ID)
 
 	ctx, cancel := context.WithTimeout(s.jobCtx, job.Spec.Timeout)
-	start := time.Now()
+	start := s.now()
 	res, err := s.execute(ctx, job)
 	cancel()
 
 	st := job.complete(res, err)
 	job.root.End()
 	s.metrics.jobFinished(st)
+	elapsed := s.now().Sub(start)
+	s.journal.JobFinished(job.ID, finishRecord(job, st, res, err))
+	if s.metrics.slo != nil {
+		s.metrics.slo.Observe(job.Spec.Engine, elapsed, st == JobDone)
+	}
+	if thr := s.cfg.SlowJobThreshold; thr > 0 && elapsed > thr {
+		s.slowJobWarn(job, st, elapsed)
+	}
 	s.retire(job)
 
 	attrs := []any{
 		slog.String("job_id", job.ID),
 		slog.String("status", string(st)),
 		slog.String("engine", job.Spec.Engine),
-		slog.Duration("elapsed", time.Since(start)),
+		slog.Duration("elapsed", elapsed),
 	}
 	if res != nil {
 		attrs = append(attrs, slog.String("trace_digest", res.TraceDigest))
@@ -339,6 +437,58 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	s.logger.Info("job finished", attrs...)
+}
+
+// finishRecord shapes a job's terminal state into the journal's Finish.
+func finishRecord(job *Job, st JobStatus, res *JobResult, err error) journal.Finish {
+	fin := journal.Finish{
+		Status:      string(st),
+		AuditStatus: job.AuditStatus(),
+	}
+	if err != nil {
+		fin.Error = err.Error()
+	}
+	if res != nil {
+		fin.TraceDigest = res.TraceDigest
+		fin.GridPoints = res.GridPoints
+		fin.BatchSize = job.Spec.BatchSize
+		fin.Workers = res.Workers
+		fin.SweepMS = res.SweepMS
+		fin.SetupCached = res.SetupCached
+		if res.Search != nil {
+			fin.Search = &journal.SearchStats{
+				Mode:      res.Search.Mode,
+				Probes:    res.Search.Probes,
+				Rounds:    res.Search.Rounds,
+				Converged: res.Search.Converged,
+				Feasible:  res.Search.Feasible,
+				Verified:  res.Search.Verified,
+			}
+		}
+	}
+	return fin
+}
+
+// slowJobWarn logs the one structured slow-job warning, with the stage
+// breakdown the journal accumulated. Called after JobFinished so the sweep
+// timing has landed on the record.
+func (s *Server) slowJobWarn(job *Job, st JobStatus, elapsed time.Duration) {
+	attrs := []any{
+		slog.String("job_id", job.ID),
+		slog.String("status", string(st)),
+		slog.String("engine", job.Spec.Engine),
+		slog.Duration("elapsed", elapsed),
+		slog.Duration("threshold", s.cfg.SlowJobThreshold),
+	}
+	if rec, ok := s.journal.Get(job.ID); ok {
+		attrs = append(attrs,
+			slog.String("trace_digest", rec.TraceDigest),
+			slog.Float64("queue_ms", rec.QueueMS),
+			slog.Float64("setup_ms", rec.SetupMS),
+			slog.Float64("sweep_ms", rec.SweepMS),
+			slog.Float64("assemble_ms", rec.AssembleMS))
+	}
+	s.logger.Warn("slow job: wall-clock exceeded threshold", attrs...)
 }
 
 // execute runs the three phases of a job — obtain the trace, obtain the
@@ -924,11 +1074,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job := &Job{
 		ID:        fmt.Sprintf("job-%06d", s.seq.Add(1)),
 		Spec:      spec,
-		Submitted: time.Now(),
+		Submitted: s.now(),
 		status:    JobQueued,
 	}
 	if s.cfg.TraceCapacity > 0 {
-		job.tracer = obs.NewTracer(s.cfg.TraceCapacity, obs.WithOnEnd(s.metrics.observeSpan))
+		jobID := job.ID
+		job.tracer = obs.NewTracer(s.cfg.TraceCapacity, obs.WithOnEnd(func(rec obs.Record) {
+			s.metrics.observeSpan(rec)
+			s.journal.ObserveSpan(jobID, rec)
+		}))
 	}
 	job.root = job.tracer.Start(obs.CatJob, "job")
 	job.root.SetDetail(job.ID)
@@ -941,6 +1095,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.register(job)
+	s.journal.JobQueued(job.ID, journal.Record{
+		Engine:      spec.Engine,
+		Workload:    spec.Workload,
+		TraceDigest: spec.TraceDigest,
+		GridPoints:  spec.GridSize,
+		BatchSize:   spec.BatchSize,
+		Submitted:   job.Submitted,
+	})
 	select {
 	case s.queue <- job:
 		s.submitMu.RUnlock()
@@ -954,6 +1116,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.submitMu.RUnlock()
 		s.unregister(job.ID)
+		s.journal.Discard(job.ID)
 		s.metrics.rejected.Inc()
 		s.logger.Warn("job rejected: queue full",
 			slog.String("job_id", job.ID),
@@ -1038,9 +1201,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      status,
-		"queue_depth": len(s.queue),
-		"workers":     s.cfg.Workers,
+		"status":         status,
+		"queue_depth":    len(s.queue),
+		"workers":        s.cfg.Workers,
+		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
 }
 
